@@ -1,0 +1,112 @@
+// Command btsim runs one application kernel on one simulated machine
+// configuration and reports performance counters.
+//
+// Usage:
+//
+//	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N]
+//	btsim -list-configs
+//	btsim -list-apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/bench"
+	"bigtiny/internal/energy"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/stats"
+	"bigtiny/internal/trace"
+)
+
+func main() {
+	cfgName := flag.String("config", "bT/MESI", "machine configuration")
+	appName := flag.String("app", "cilk5-cs", "application kernel")
+	size := flag.String("size", "ref", "input size: test, ref, or big")
+	grain := flag.Int("grain", 0, "task granularity override (0 = app default)")
+	listConfigs := flag.Bool("list-configs", false, "list machine configurations")
+	listApps := flag.Bool("list-apps", false, "list application kernels")
+	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
+	flag.Parse()
+
+	if *listConfigs {
+		for _, n := range machine.Names() {
+			cfg, _ := machine.Lookup(n)
+			fmt.Printf("%-18s %3d big + %3d tiny (%s), %dx%d mesh, %d banks, DTS=%v\n",
+				n, cfg.NumBig, cfg.NumTiny, cfg.TinyProto, cfg.Rows, cfg.Cols,
+				cfg.NumBanks, cfg.DTS)
+		}
+		return
+	}
+	if *listApps {
+		for _, a := range apps.All() {
+			fmt.Printf("%-14s method=%s default-grain=%d\n", a.Name, a.Method, a.DefaultGrain)
+		}
+		return
+	}
+
+	var sz apps.Size
+	switch *size {
+	case "test":
+		sz = apps.Test
+	case "ref":
+		sz = apps.Ref
+	case "big":
+		sz = apps.Big
+	default:
+		fmt.Fprintf(os.Stderr, "btsim: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	s := bench.NewSuite(sz)
+	s.Grain = *grain
+	if *traceFile != "" {
+		s.Tracer = &trace.Recorder{Limit: 2_000_000}
+	}
+	r, err := s.Run(*cfgName, *appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
+		os.Exit(1)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btsim:", err)
+			os.Exit(1)
+		}
+		if _, err := s.Tracer.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "btsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "btsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace      : %d events -> %s\n", len(s.Tracer.Events), *traceFile)
+	}
+
+	fmt.Printf("app        : %s (size %s)\n", r.App, sz)
+	fmt.Printf("config     : %s\n", r.Config)
+	fmt.Printf("cycles     : %d\n", r.Cycles)
+	fmt.Printf("insts      : %d\n", r.Insts)
+	fmt.Printf("tiny time  : %s\n", stats.BreakdownString(r.TinyBreakdown))
+	fmt.Printf("big time   : %s\n", stats.BreakdownString(r.BigBreakdown))
+	fmt.Printf("L1D tiny   : hit rate %.3f (%d loads, %d stores, %d AMOs)\n",
+		r.TinyHitRate(), r.L1Tiny.Loads, r.L1Tiny.Stores, r.L1Tiny.Amos)
+	fmt.Printf("inv/flush  : %d lines invalidated, %d lines flushed\n",
+		r.L1Tiny.InvLines, r.L1Tiny.FlushLines)
+	fmt.Printf("L2         : %d hits, %d misses, %d recalls, %d at-L2 AMOs\n",
+		r.L2.Hits, r.L2.Misses, r.L2.Recalls, r.L2.AmoOps)
+	fmt.Printf("DRAM       : %d line reads, %d line writes\n", r.DRAMReads, r.DRAMWrites)
+	fmt.Printf("NoC        : %d bytes (avg %.1f hops)\n", r.Traffic.TotalBytes(), r.AvgHops)
+	fmt.Printf("NoC util   : max %.2f%%, mean %.2f%% of link cycles\n", 100*r.NoCMaxUtil, 100*r.NoCMeanUtil)
+	fmt.Printf("  %s\n", stats.TrafficString(&r.Traffic))
+	if r.ULI != nil {
+		fmt.Printf("ULI        : %d reqs, %d acks, %d nacks, avg latency %.1f cycles, max util %.2f%%\n",
+			r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks, r.ULIAvgLatency, 100*r.ULIMeshMaxUtil)
+	}
+	fmt.Printf("runtime    : %v\n", r.RT)
+	fmt.Printf("energy     : %.1f uJ (proxy)\n", energy.DefaultModel().Estimate(r))
+}

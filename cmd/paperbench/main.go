@@ -1,0 +1,123 @@
+// Command paperbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	paperbench [-size test|ref|big] [-apps a,b,c] [-v] [targets...]
+//
+// Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy all
+// (default: all except table5, which simulates a 256-core system and is
+// the most expensive target).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/bench"
+)
+
+func main() {
+	size := flag.String("size", "ref", "input size: test, ref, or big")
+	appList := flag.String("apps", "", "comma-separated app subset (default: all 13)")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	noVerify := flag.Bool("no-verify", false, "skip output verification after each run")
+	jsonOut := flag.String("json", "", "also dump all collected metrics as JSON to this file")
+	flag.Parse()
+
+	var sz apps.Size
+	switch *size {
+	case "test":
+		sz = apps.Test
+	case "ref":
+		sz = apps.Ref
+	case "big":
+		sz = apps.Big
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	names := bench.AppNames()
+	if *appList != "" {
+		names = strings.Split(*appList, ",")
+		for _, n := range names {
+			if _, err := apps.ByName(n); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	targets := flag.Args()
+	for _, t := range targets {
+		if strings.HasPrefix(t, "-") {
+			fmt.Fprintf(os.Stderr, "paperbench: flag %q given after targets; flags must precede targets\n", t)
+			os.Exit(2)
+		}
+	}
+	if len(targets) == 0 {
+		targets = []string{"table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "uli", "energy"}
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "uli", "energy"}
+	}
+
+	s := bench.NewSuite(sz)
+	s.Verify = !*noVerify
+	if *verbose {
+		s.Progress = os.Stderr
+	}
+
+	out := os.Stdout
+	for _, t := range targets {
+		var err error
+		switch t {
+		case "table3":
+			err = s.Table3(out, names)
+		case "table4":
+			err = s.Table4(out, names)
+		case "table5":
+			err = s.Table5(out)
+		case "fig4":
+			err = s.Fig4(out, nil)
+		case "fig5":
+			err = s.Fig5(out, names)
+		case "fig6":
+			err = s.Fig6(out, names)
+		case "fig7":
+			err = s.Fig7(out, names)
+		case "fig8":
+			err = s.Fig8(out, names)
+		case "uli":
+			err = s.ULIReport(out, names)
+		case "energy":
+			err = s.EnergyReport(out, names)
+		default:
+			err = fmt.Errorf("unknown target %q", t)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		if err := s.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+}

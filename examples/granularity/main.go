@@ -1,0 +1,54 @@
+// Granularity reproduces the paper's §V-D task-granularity trade-off
+// (Figure 4) interactively: it sweeps the task grain of a parallel
+// loop on a 64-tiny-core machine and prints the resulting speedup next
+// to the Cilkview logical parallelism — showing that both too-fine and
+// too-coarse granularity lose.
+//
+//	go run ./examples/granularity [-app ligra-tc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/bench"
+	"bigtiny/internal/cilkview"
+	"bigtiny/internal/stats"
+	"bigtiny/internal/wsrt"
+)
+
+func main() {
+	appName := flag.String("app", "cilk5-nq", "kernel to sweep")
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := bench.NewSuite(apps.Test)
+	serial, err := base.Run("IOx1", *appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on 64 tiny cores (inputs at test scale)\n\n", *appName)
+	fmt.Printf("%-12s %10s %14s %10s\n", "grain", "speedup", "parallelism", "IPT")
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		s := bench.NewSuite(apps.Test)
+		s.Grain = g
+		r, err := s.Run("tiny64", *appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		view := cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
+			return app.Setup(rt, apps.Test, g).Root
+		})
+		fmt.Printf("%-12d %10.2f %14.1f %10.1f\n",
+			g, stats.Speedup(serial, r), view.Parallelism(), view.IPT())
+	}
+	fmt.Println("\nFine grain raises logical parallelism but pays runtime overhead per")
+	fmt.Println("task; coarse grain starves the 64 cores (paper Figure 4).")
+}

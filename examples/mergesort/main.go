@@ -1,0 +1,135 @@
+// Mergesort compares the three runtime/coherence combinations the
+// paper studies on a parallel mergesort (the cilksort algorithm with a
+// parallel merge): hardware-coherent MESI, HCC with the
+// invalidate/flush discipline, and HCC with direct task stealing.
+//
+//	go run ./examples/mergesort [-n 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+	"bigtiny/internal/wsrt"
+)
+
+func main() {
+	n := flag.Int("n", 8192, "keys to sort")
+	flag.Parse()
+
+	type combo struct {
+		cfgName string
+		label   string
+	}
+	combos := []combo{
+		{"bT/MESI", "hardware coherence (Fig 3a runtime)"},
+		{"bT/HCC-gwb", "HCC GPU-WB (Fig 3b runtime)"},
+		{"bT/HCC-DTS-gwb", "HCC GPU-WB + DTS (Fig 3c runtime)"},
+	}
+	fmt.Printf("parallel mergesort, %d keys, 64-core big.TINY systems\n\n", *n)
+	fmt.Printf("%-40s %12s %8s %10s %10s\n", "system", "cycles", "steals", "inv-lines", "flush-lines")
+
+	for _, cb := range combos {
+		cfg, err := machine.Lookup(cb.cfgName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := machine.New(cfg)
+		rt := wsrt.New(m, wsrt.AutoVariant(m))
+		cycles, err := runSort(m, rt, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var inv, fl uint64
+		for _, core := range m.Cores {
+			inv += core.L1D.Stats.InvLines
+			fl += core.L1D.Stats.FlushLines
+		}
+		fmt.Printf("%-40s %12d %8d %10d %10d\n", cb.label, cycles, rt.Stats.StealHits, inv, fl)
+	}
+}
+
+// runSort sorts n pseudorandom keys in simulated memory and verifies
+// the result, returning the simulated cycle count.
+func runSort(m *machine.Machine, rt *wsrt.RT, n int) (sim.Time, error) {
+	fidSort := rt.RegisterFunc("msort", 1536)
+	data := m.Mem.AllocWords(n)
+	tmp := m.Mem.AllocWords(n)
+	rng := sim.NewRand(7)
+	for i := 0; i < n; i++ {
+		m.Mem.WriteWord(data+mem.Addr(i*8), rng.Uint64()%1_000_000)
+	}
+	at := func(base mem.Addr, i int) mem.Addr { return base + mem.Addr(i*8) }
+
+	const grain = 64
+	var msort func(c *wsrt.Ctx, lo, hi int)
+	merge := func(c *wsrt.Ctx, lo, mid, hi int) {
+		i, j := lo, mid
+		for k := lo; k < hi; k++ {
+			c.Compute(4)
+			var v uint64
+			switch {
+			case i >= mid:
+				v = c.Load(at(data, j))
+				j++
+			case j >= hi:
+				v = c.Load(at(data, i))
+				i++
+			default:
+				a, b := c.Load(at(data, i)), c.Load(at(data, j))
+				if a <= b {
+					v, i = a, i+1
+				} else {
+					v, j = b, j+1
+				}
+			}
+			c.Store(at(tmp, k), v)
+		}
+		for k := lo; k < hi; k++ {
+			c.Store(at(data, k), c.Load(at(tmp, k)))
+		}
+	}
+	msort = func(c *wsrt.Ctx, lo, hi int) {
+		c.Compute(6)
+		if hi-lo <= grain {
+			for i := lo + 1; i < hi; i++ { // insertion sort
+				c.Compute(3)
+				v := c.Load(at(data, i))
+				j := i - 1
+				for j >= lo {
+					u := c.Load(at(data, j))
+					if u <= v {
+						break
+					}
+					c.Store(at(data, j+1), u)
+					j--
+				}
+				c.Store(at(data, j+1), v)
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		c.Fork(fidSort,
+			func(cc *wsrt.Ctx) { msort(cc, lo, mid) },
+			func(cc *wsrt.Ctx) { msort(cc, mid, hi) },
+		)
+		merge(c, lo, mid, hi)
+	}
+
+	if err := rt.Run(func(c *wsrt.Ctx) { msort(c, 0, n) }); err != nil {
+		return 0, err
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		v := m.Cache.DebugReadWord(at(data, i))
+		if v < prev {
+			return 0, fmt.Errorf("not sorted at %d", i)
+		}
+		prev = v
+	}
+	return m.Kernel.Now(), nil
+}

@@ -1,0 +1,3 @@
+module bigtiny
+
+go 1.22

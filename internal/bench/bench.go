@@ -1,0 +1,164 @@
+// Package bench is the paper-reproduction harness: it runs the 13
+// kernels across the simulated configurations and regenerates every
+// table and figure in the paper's evaluation (Tables III-V, Figures
+// 4-8, the §VI-C ULI overhead report, and the energy comparison).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/cilkview"
+	"bigtiny/internal/energy"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/stats"
+	"bigtiny/internal/trace"
+	"bigtiny/internal/wsrt"
+)
+
+// Suite runs (config, app) pairs on demand and caches the results so
+// several tables/figures can share one set of simulations.
+type Suite struct {
+	// Size selects input scale for all runs.
+	Size apps.Size
+	// Grain overrides the per-app default task granularity (0 = default).
+	Grain int
+	// Verify (default true via NewSuite) checks outputs after every run.
+	Verify bool
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+	// Tracer, if non-nil, records scheduler events for each run
+	// (intended for single-run use via cmd/btsim -trace).
+	Tracer *trace.Recorder
+
+	results map[string]*stats.Run
+	views   map[string]cilkview.Report
+}
+
+// NewSuite returns a verifying suite at the given size.
+func NewSuite(size apps.Size) *Suite {
+	return &Suite{
+		Size:    size,
+		Verify:  true,
+		results: make(map[string]*stats.Run),
+		views:   make(map[string]cilkview.Report),
+	}
+}
+
+// The evaluation's configuration lists.
+var (
+	// HCCConfigs are the three software-centric tiny-core protocols.
+	HCCConfigs = []string{"bT/HCC-dnv", "bT/HCC-gwt", "bT/HCC-gwb"}
+	// DTSConfigs add direct task stealing.
+	DTSConfigs = []string{"bT/HCC-DTS-dnv", "bT/HCC-DTS-gwt", "bT/HCC-DTS-gwb"}
+	// Table5Apps is the paper's 256-core subset.
+	Table5Apps = []string{"cilk5-cs", "ligra-bc", "ligra-bfs", "ligra-cc", "ligra-tc"}
+)
+
+// Run simulates app on the named machine configuration (cached).
+// The "IOx1" configuration runs the app's serial variant — it is the
+// paper's "Serial IO" baseline.
+func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
+	key := cfgName + "|" + appName
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	cfg, err := machine.Lookup(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(cfg)
+	rt := wsrt.New(m, wsrt.AutoVariant(m))
+	rt.Grain = grainFor(app, s.Grain)
+	rt.Tracer = s.Tracer
+	inst := app.Setup(rt, s.Size, s.Grain)
+	root := inst.Root
+	if cfgName == "IOx1" {
+		root = inst.SerialRoot
+	}
+	if err := rt.Run(root); err != nil {
+		return nil, fmt.Errorf("bench: %s on %s: %w", appName, cfgName, err)
+	}
+	if s.Verify {
+		read := func(a mem.Addr) uint64 { return m.Cache.DebugReadWord(a) }
+		if err := inst.Verify(read); err != nil {
+			return nil, fmt.Errorf("bench: %s on %s: verification failed: %w", appName, cfgName, err)
+		}
+	}
+	r := stats.Collect(m, rt, appName)
+	s.results[key] = r
+	if s.Progress != nil {
+		fmt.Fprintf(s.Progress, "ran %-14s on %-16s: %12d cycles\n", appName, cfgName, r.Cycles)
+	}
+	return r, nil
+}
+
+// View returns the Cilkview analysis for app at the suite's size and
+// grain (cached).
+func (s *Suite) View(appName string) (cilkview.Report, error) {
+	key := fmt.Sprintf("%s|%d|%d", appName, s.Size, s.Grain)
+	if v, ok := s.views[key]; ok {
+		return v, nil
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return cilkview.Report{}, err
+	}
+	v := cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
+		rt.Grain = grainFor(app, s.Grain)
+		return app.Setup(rt, s.Size, s.Grain).Root
+	})
+	s.views[key] = v
+	return v, nil
+}
+
+// Energy returns the energy proxy for a cached or new run.
+func (s *Suite) Energy(cfgName, appName string) (float64, error) {
+	r, err := s.Run(cfgName, appName)
+	if err != nil {
+		return 0, err
+	}
+	return energy.DefaultModel().Estimate(r), nil
+}
+
+func grainFor(app *apps.App, override int) int {
+	if override > 0 {
+		return override
+	}
+	return app.DefaultGrain
+}
+
+// AppNames returns the apps under test (all 13 by default).
+func AppNames() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// geomean computes the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

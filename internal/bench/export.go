@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/energy"
+	"bigtiny/internal/noc"
+	"bigtiny/internal/stats"
+)
+
+// RunJSON is the machine-readable form of one simulation's metrics,
+// used to feed external plotting or regression-tracking tools.
+type RunJSON struct {
+	Config string `json:"config"`
+	App    string `json:"app"`
+	Size   string `json:"size"`
+	Grain  int    `json:"grain"`
+
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
+
+	TinyBreakdown map[string]uint64 `json:"tiny_breakdown"`
+	BigBreakdown  map[string]uint64 `json:"big_breakdown"`
+
+	TinyHitRate float64 `json:"tiny_l1d_hit_rate"`
+	InvLines    uint64  `json:"inv_lines"`
+	FlushLines  uint64  `json:"flush_lines"`
+	TinyAmos    uint64  `json:"tiny_amos"`
+
+	L2Hits    uint64 `json:"l2_hits"`
+	L2Misses  uint64 `json:"l2_misses"`
+	L2Recalls uint64 `json:"l2_recalls"`
+	L2Amos    uint64 `json:"l2_amos"`
+
+	TrafficBytes map[string]uint64 `json:"traffic_bytes"`
+	AvgHops      float64           `json:"avg_hops"`
+
+	DRAMReads  uint64 `json:"dram_reads"`
+	DRAMWrites uint64 `json:"dram_writes"`
+
+	ULIReqs       uint64  `json:"uli_reqs,omitempty"`
+	ULIAcks       uint64  `json:"uli_acks,omitempty"`
+	ULINacks      uint64  `json:"uli_nacks,omitempty"`
+	ULIAvgLatency float64 `json:"uli_avg_latency,omitempty"`
+
+	Spawns     uint64 `json:"spawns"`
+	StealHits  uint64 `json:"steal_hits"`
+	StealTries uint64 `json:"steal_tries"`
+
+	EnergyUJ float64 `json:"energy_uj"`
+}
+
+// toJSON converts a collected run.
+func (s *Suite) toJSON(r *stats.Run) RunJSON {
+	j := RunJSON{
+		Config: r.Config, App: r.App, Size: s.Size.String(), Grain: s.Grain,
+		Cycles: uint64(r.Cycles), Insts: r.Insts,
+		TinyBreakdown: map[string]uint64{}, BigBreakdown: map[string]uint64{},
+		TinyHitRate: r.TinyHitRate(),
+		InvLines:    r.L1Tiny.InvLines, FlushLines: r.L1Tiny.FlushLines,
+		TinyAmos: r.L1Tiny.Amos,
+		L2Hits:   r.L2.Hits, L2Misses: r.L2.Misses,
+		L2Recalls: r.L2.Recalls, L2Amos: r.L2.AmoOps,
+		TrafficBytes: map[string]uint64{},
+		AvgHops:      r.AvgHops,
+		DRAMReads:    r.DRAMReads, DRAMWrites: r.DRAMWrites,
+		Spawns: r.RT.Spawns, StealHits: r.RT.StealHits, StealTries: r.RT.StealTries,
+		EnergyUJ: energy.DefaultModel().Estimate(r),
+	}
+	for cls := 0; cls < int(cpu.NumClasses); cls++ {
+		j.TinyBreakdown[cpu.Class(cls).String()] = r.TinyBreakdown[cls]
+		j.BigBreakdown[cpu.Class(cls).String()] = r.BigBreakdown[cls]
+	}
+	for c := 0; c < int(noc.NumCategories); c++ {
+		j.TrafficBytes[noc.Category(c).String()] = r.Traffic.Bytes[c]
+	}
+	if r.ULI != nil {
+		j.ULIReqs, j.ULIAcks, j.ULINacks = r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks
+		j.ULIAvgLatency = r.ULIAvgLatency
+	}
+	return j
+}
+
+// WriteJSON emits every run cached in the suite (sorted by config then
+// app) as a JSON array. Run the desired tables/figures first; this
+// exports whatever they simulated.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]RunJSON, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.toJSON(s.results[k]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

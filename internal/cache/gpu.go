@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+)
+
+// GPU-WT: reader-initiated invalidation, no-owner write-through, word
+// granularity. Writes go straight to the L2 (no write-allocate), so
+// cache_flush only drains the store buffer. AMOs execute at the L2.
+//
+// GPU-WB: like GPU-WT but write-back: stores dirty words locally
+// (write-allocate without fetch, thanks to per-word dirty bits) and
+// makes them visible only on cache_flush or eviction. This is the
+// protocol for which DTS pays off most (paper §VI-C).
+
+// loadGPU is shared by GPU-WT and GPU-WB (their read paths differ only
+// in that GPU-WB must preserve dirty words when refilling).
+func (l *L1) loadGPU(now sim.Time, a mem.Addr) (uint64, sim.Time) {
+	la, w := mem.LineAddr(a), mem.WordIndex(a)
+	bit := uint8(1) << w
+	ln := l.find(la)
+	if ln != nil && (ln.validMask|ln.dirtyMask)&bit != 0 {
+		l.touch(ln)
+		return ln.data[w], now + l.hitLat
+	}
+	l.Stats.LoadMisses++
+	data, _, done := l.sys.l2GetLine(now+l.hitLat, l.core, la, false, false)
+	if ln == nil {
+		ln = l.allocSlot(now, la)
+	} else {
+		l.touch(ln)
+	}
+	// Merge: locally dirty words are newer than the L2's copy.
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if ln.dirtyMask&(1<<i) == 0 {
+			ln.data[i] = data[i]
+		}
+	}
+	ln.validMask = 0xFF &^ ln.dirtyMask
+	return ln.data[w], done
+}
+
+func (l *L1) storeGPUWT(now sim.Time, a mem.Addr, v uint64) sim.Time {
+	la, w := mem.LineAddr(a), mem.WordIndex(a)
+	bit := uint8(1) << w
+	ln := l.find(la)
+	if ln != nil && ln.validMask&bit != 0 {
+		// Write-update of the local clean copy.
+		l.touch(ln)
+		ln.data[w] = v
+	} else {
+		// No write-allocate: the write bypasses the L1.
+		l.Stats.StoreMisses++
+	}
+	// Write through to the shared cache. The returned time is when the
+	// write is globally visible at the L2; the core's store buffer
+	// decides whether to stall on it.
+	return l.sys.l2WriteThrough(now+l.hitLat, l.core, la, w, v)
+}
+
+func (l *L1) storeGPUWB(now sim.Time, a mem.Addr, v uint64) sim.Time {
+	la, w := mem.LineAddr(a), mem.WordIndex(a)
+	bit := uint8(1) << w
+	ln := l.find(la)
+	if ln == nil {
+		// Write-allocate without fetch: per-word dirty bits mean we can
+		// install just this word, at zero network cost.
+		l.Stats.StoreMisses++
+		ln = l.allocSlot(now, la)
+	} else {
+		l.touch(ln)
+	}
+	ln.data[w] = v
+	ln.dirtyMask |= bit
+	ln.validMask |= bit
+	return now + l.hitLat
+}
+
+// amoGPU performs the atomic at the shared L2 (no ownership in the
+// private cache). A locally dirty copy of the word (GPU-WB) rides along
+// and the local copy is invalidated so the next read observes the
+// globally ordered value.
+func (l *L1) amoGPU(now sim.Time, a mem.Addr, op AmoOp, arg1, arg2 uint64) (uint64, sim.Time) {
+	la, w := mem.LineAddr(a), mem.WordIndex(a)
+	bit := uint8(1) << w
+	var dirtyWord *uint64
+	ln := l.find(la)
+	if ln != nil && ln.dirtyMask&bit != 0 {
+		v := ln.data[w]
+		dirtyWord = &v
+	}
+	old, done := l.sys.l2Amo(now+l.hitLat, l.core, la, w, op, arg1, arg2, dirtyWord)
+	if ln != nil {
+		ln.validMask &^= bit
+		ln.dirtyMask &^= bit
+		if ln.validMask|ln.dirtyMask|ln.ownedMask == 0 {
+			ln.valid = false
+		}
+	}
+	return old, done
+}

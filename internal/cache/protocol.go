@@ -1,0 +1,197 @@
+// Package cache models the cache hierarchy of the big.TINY system: the
+// four private-L1 coherence protocols the paper studies (MESI, DeNovo,
+// GPU-WT, GPU-WB; Table I) and a shared banked L2 that integrates them
+// in the style of Spandex, with an embedded directory that has a precise
+// sharer list for MESI L1s (paper §V-A).
+//
+// L1s hold real copies of data. Under the software-centric protocols a
+// copy can be genuinely stale until software issues a cache_invalidate,
+// and dirty data is genuinely invisible to other cores until a
+// cache_flush (GPU-WB) or an ownership recall (DeNovo). A runtime that
+// omits a required invalidate or flush computes wrong answers in this
+// model, exactly as it would on the real machine.
+package cache
+
+import "fmt"
+
+// Protocol selects the coherence protocol of a private L1 cache.
+type Protocol int
+
+// The four protocols characterized in paper Table I.
+const (
+	MESI Protocol = iota
+	DeNovo
+	GPUWT
+	GPUWB
+)
+
+// String returns the paper's name for the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case MESI:
+		return "MESI"
+	case DeNovo:
+		return "DeNovo"
+	case GPUWT:
+		return "GPU-WT"
+	case GPUWB:
+		return "GPU-WB"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Invalidation indicates who initiates invalidation of stale data.
+type Invalidation int
+
+// Invalidation strategies (Table I, "Who initiates invalidation?").
+const (
+	WriterInitiated Invalidation = iota
+	ReaderInitiated
+)
+
+func (i Invalidation) String() string {
+	if i == WriterInitiated {
+		return "Writer"
+	}
+	return "Reader"
+}
+
+// DirtyPropagation indicates how dirty data becomes visible.
+type DirtyPropagation int
+
+// Dirty propagation strategies (Table I, "How is dirty data propagated?").
+const (
+	OwnerWriteBack DirtyPropagation = iota
+	NoOwnerWriteThrough
+	NoOwnerWriteBack
+)
+
+func (d DirtyPropagation) String() string {
+	switch d {
+	case OwnerWriteBack:
+		return "Owner, Write-Back"
+	case NoOwnerWriteThrough:
+		return "No-Owner, Write-Through"
+	default:
+		return "No-Owner, Write-Back"
+	}
+}
+
+// Granularity is the unit at which writes are performed and ownership
+// is managed (Table I, "Write Granularity").
+type Granularity int
+
+// Write granularities.
+const (
+	LineGranularity Granularity = iota
+	WordGranularity
+)
+
+func (g Granularity) String() string {
+	if g == LineGranularity {
+		return "Line"
+	}
+	return "Word"
+}
+
+// Properties captures a protocol's row in paper Table I.
+type Properties struct {
+	Invalidation Invalidation
+	Propagation  DirtyPropagation
+	Granularity  Granularity
+	// NeedsInvalidate reports whether cache_invalidate is a real
+	// operation (true for all reader-initiated protocols).
+	NeedsInvalidate bool
+	// NeedsFlush reports whether cache_flush is a real operation (only
+	// GPU-WB: no ownership and write-back).
+	NeedsFlush bool
+	// AMOAtL2 reports whether atomics must be performed at the shared
+	// cache (protocols without ownership).
+	AMOAtL2 bool
+}
+
+// PropertiesOf returns the Table I classification of p.
+func PropertiesOf(p Protocol) Properties {
+	switch p {
+	case MESI:
+		return Properties{
+			Invalidation: WriterInitiated,
+			Propagation:  OwnerWriteBack,
+			Granularity:  LineGranularity,
+		}
+	case DeNovo:
+		return Properties{
+			Invalidation:    ReaderInitiated,
+			Propagation:     OwnerWriteBack,
+			Granularity:     WordGranularity,
+			NeedsInvalidate: true,
+		}
+	case GPUWT:
+		return Properties{
+			Invalidation:    ReaderInitiated,
+			Propagation:     NoOwnerWriteThrough,
+			Granularity:     WordGranularity,
+			NeedsInvalidate: true,
+			AMOAtL2:         true,
+		}
+	case GPUWB:
+		return Properties{
+			Invalidation:    ReaderInitiated,
+			Propagation:     NoOwnerWriteBack,
+			Granularity:     WordGranularity,
+			NeedsInvalidate: true,
+			NeedsFlush:      true,
+			AMOAtL2:         true,
+		}
+	}
+	panic("cache: unknown protocol")
+}
+
+// AmoOp selects an atomic read-modify-write operation.
+type AmoOp int
+
+// Atomic memory operations used by the runtime and applications.
+const (
+	AmoAdd  AmoOp = iota // fetch-and-add (fetch-and-sub via two's complement)
+	AmoOr                // fetch-and-or (amo_or(x, 0) is the paper's atomic read)
+	AmoAnd               // fetch-and-and
+	AmoXchg              // atomic exchange
+	AmoCAS               // compare-and-swap: arg1 = expected, arg2 = desired
+)
+
+func (op AmoOp) String() string {
+	switch op {
+	case AmoAdd:
+		return "amo_add"
+	case AmoOr:
+		return "amo_or"
+	case AmoAnd:
+		return "amo_and"
+	case AmoXchg:
+		return "amo_xchg"
+	case AmoCAS:
+		return "amo_cas"
+	}
+	return fmt.Sprintf("amo(%d)", int(op))
+}
+
+// applyAmo computes the new value for op given the old value and
+// operands, and reports whether the write happens (CAS can fail).
+func applyAmo(op AmoOp, old, arg1, arg2 uint64) (newVal uint64, write bool) {
+	switch op {
+	case AmoAdd:
+		return old + arg1, true
+	case AmoOr:
+		return old | arg1, true
+	case AmoAnd:
+		return old & arg1, true
+	case AmoXchg:
+		return arg1, true
+	case AmoCAS:
+		if old == arg1 {
+			return arg2, true
+		}
+		return old, false
+	}
+	panic("cache: unknown AMO op")
+}

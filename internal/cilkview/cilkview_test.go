@@ -1,0 +1,150 @@
+package cilkview
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/wsrt"
+)
+
+func TestBalancedForkParallelism(t *testing.T) {
+	// 64 independent leaves of 1000 instructions under a binary fork
+	// tree: work ~ 64000, span ~ 1000 + tree path, parallelism ~ 50+.
+	r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+		return func(c *wsrt.Ctx) {
+			c.ParallelFor(0, 0, 64, 1, func(cc *wsrt.Ctx, i int) {
+				cc.Compute(1000)
+			})
+		}
+	})
+	if r.Work < 64000 {
+		t.Fatalf("work = %d, want >= 64000", r.Work)
+	}
+	if p := r.Parallelism(); p < 30 || p > 64 {
+		t.Fatalf("parallelism = %.1f, want ~50", p)
+	}
+	if r.Tasks < 64 {
+		t.Fatalf("tasks = %d, want >= 64", r.Tasks)
+	}
+}
+
+func TestSerialChainHasNoParallelism(t *testing.T) {
+	r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+		return func(c *wsrt.Ctx) {
+			for i := 0; i < 10; i++ {
+				c.Compute(100)
+			}
+		}
+	})
+	if r.Work != r.Span {
+		t.Fatalf("serial program: work %d != span %d", r.Work, r.Span)
+	}
+	if p := r.Parallelism(); p != 1 {
+		t.Fatalf("parallelism = %v, want 1", p)
+	}
+}
+
+func TestUnbalancedForkSpanIsMax(t *testing.T) {
+	r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+		return func(c *wsrt.Ctx) {
+			c.Fork(0,
+				func(cc *wsrt.Ctx) { cc.Compute(100) },
+				func(cc *wsrt.Ctx) { cc.Compute(900) },
+			)
+		}
+	})
+	if r.Work < 1000 {
+		t.Fatalf("work = %d", r.Work)
+	}
+	// Span must be dominated by the long branch, not the sum.
+	if r.Span < 900 || r.Span >= 1000 {
+		t.Fatalf("span = %d, want [900, 1000)", r.Span)
+	}
+}
+
+func TestNestedForkSpanComposes(t *testing.T) {
+	r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+		return func(c *wsrt.Ctx) {
+			c.Compute(50) // serial prefix
+			c.Fork(0,
+				func(cc *wsrt.Ctx) {
+					cc.Fork(0,
+						func(c2 *wsrt.Ctx) { c2.Compute(200) },
+						func(c2 *wsrt.Ctx) { c2.Compute(300) },
+					)
+				},
+				func(cc *wsrt.Ctx) { cc.Compute(100) },
+			)
+			c.Compute(25) // serial suffix
+		}
+	})
+	// span = 50 + max(max(200,300), 100) + 25 = 375.
+	if r.Span != 375 {
+		t.Fatalf("span = %d, want 375", r.Span)
+	}
+}
+
+// Property: span <= work always, and parallelism >= 1.
+func TestSpanLEWorkProperty(t *testing.T) {
+	f := func(widths []uint8) bool {
+		r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+			return func(c *wsrt.Ctx) {
+				for _, w := range widths {
+					n := int(w%8) + 1
+					bodies := make([]wsrt.Body, n)
+					for i := range bodies {
+						k := (i + 1) * 10
+						bodies[i] = func(cc *wsrt.Ctx) { cc.Compute(k) }
+					}
+					c.Fork(0, bodies...)
+				}
+			}
+		})
+		return r.Span <= r.Work && r.Parallelism() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Smaller grain -> more logical parallelism (the left side of the
+// paper's Figure 4 trade-off) on ligra-tc.
+func TestGranularityParallelismTrend(t *testing.T) {
+	paraAt := func(grain int) float64 {
+		r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+			app, err := apps.ByName("ligra-tc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return app.Setup(rt, apps.Test, grain).Root
+		})
+		return r.Parallelism()
+	}
+	fine := paraAt(2)
+	coarse := paraAt(32)
+	if fine <= coarse {
+		t.Fatalf("parallelism: grain2=%.1f should exceed grain32=%.1f", fine, coarse)
+	}
+}
+
+// Every paper app must analyze successfully with plausible numbers.
+func TestAllAppsAnalyzable(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			r := Analyze(func(rt *wsrt.RT) wsrt.Body {
+				return app.Setup(rt, apps.Ref, 0).Root
+			})
+			if r.Work == 0 || r.Span == 0 {
+				t.Fatalf("degenerate report %v", r)
+			}
+			if r.Span > r.Work {
+				t.Fatalf("span > work: %v", r)
+			}
+			if r.Parallelism() < 1.5 {
+				t.Errorf("%s: logical parallelism %.2f suspiciously low", app.Name, r.Parallelism())
+			}
+		})
+	}
+}

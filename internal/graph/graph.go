@@ -1,0 +1,152 @@
+// Package graph provides the Ligra-style substrate the paper's eight
+// graph kernels run on: a compressed-sparse-row representation, a
+// deterministic R-MAT generator (the paper's rMat_* inputs), and
+// loaders that place the graph into simulated memory so kernel accesses
+// exercise the modelled cache hierarchy.
+package graph
+
+import (
+	"sort"
+
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+)
+
+// Graph is an undirected graph in CSR form (Go-side copy, used for
+// building, for native verification, and as the source for LoadInto).
+type Graph struct {
+	N       int      // vertex count
+	Offsets []int32  // length N+1
+	Edges   []int32  // length M (symmetrized, deduplicated, sorted per vertex)
+	Weights []uint32 // length M, deterministic per edge (for Bellman-Ford)
+}
+
+// M returns the directed edge count (2x undirected edges).
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Degree returns vertex v's degree.
+func (g *Graph) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Neighbors returns v's adjacency slice (sorted ascending).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// RMat generates a deterministic R-MAT graph with n = 2^scale vertices
+// and approximately edgeFactor*n undirected edges, using the standard
+// Kronecker parameters (a,b,c,d) = (0.57, 0.19, 0.19, 0.05). Self loops
+// and duplicates are removed and the graph is symmetrized, matching how
+// Ligra's rMat inputs are prepared.
+func RMat(scale int, edgeFactor int, seed uint64) *Graph {
+	n := 1 << scale
+	rng := sim.NewRand(seed)
+	type edge struct{ u, v int32 }
+	seen := make(map[uint64]bool)
+	var edges []edge
+	target := n * edgeFactor
+	const a, b, c = 0.57, 0.19, 0.19
+	for len(edges) < target {
+		u, v := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: no change
+			case r < a+b:
+				v += bit
+			case r < a+b+c:
+				u += bit
+			default:
+				u += bit
+				v += bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, edge{int32(u), int32(v)})
+	}
+	// Build symmetric CSR.
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		g.Offsets[i+1] = g.Offsets[i] + deg[i]
+	}
+	g.Edges = make([]int32, g.Offsets[n])
+	fill := make([]int32, n)
+	for _, e := range edges {
+		g.Edges[g.Offsets[e.u]+fill[e.u]] = e.v
+		fill[e.u]++
+		g.Edges[g.Offsets[e.v]+fill[e.v]] = e.u
+		fill[e.v]++
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	// Deterministic positive edge weights in [1, 64], symmetric: both
+	// directions of an undirected edge get the same weight.
+	g.Weights = make([]uint32, len(g.Edges))
+	for v := 0; v < n; v++ {
+		for i := g.Offsets[v]; i < g.Offsets[v+1]; i++ {
+			u := int(g.Edges[i])
+			lo, hi := v, u
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			h := uint64(lo)*2654435761 ^ uint64(hi)*40503
+			h ^= h >> 13
+			g.Weights[i] = uint32(h%64) + 1
+		}
+	}
+	return g
+}
+
+// Mem is a graph loaded into simulated memory: the kernels traverse it
+// through the simulated cache hierarchy.
+type Mem struct {
+	N, M    int
+	Offsets mem.Addr // N+1 words
+	Edges   mem.Addr // M words
+	Weights mem.Addr // M words
+}
+
+// LoadInto copies g into simulated memory (words; one CSR entry per
+// word, which is what a 64-bit port of Ligra would do).
+func LoadInto(m *mem.Memory, g *Graph) *Mem {
+	gm := &Mem{
+		N: g.N, M: g.M(),
+		Offsets: m.AllocWords(g.N + 1),
+		Edges:   m.AllocWords(g.M()),
+		Weights: m.AllocWords(g.M()),
+	}
+	for i, o := range g.Offsets {
+		m.WriteWord(gm.Offsets+mem.Addr(i*8), uint64(o))
+	}
+	for i, e := range g.Edges {
+		m.WriteWord(gm.Edges+mem.Addr(i*8), uint64(e))
+		m.WriteWord(gm.Weights+mem.Addr(i*8), uint64(g.Weights[i]))
+	}
+	return gm
+}
+
+// OffsetAddr returns the address of Offsets[i].
+func (gm *Mem) OffsetAddr(i int) mem.Addr { return gm.Offsets + mem.Addr(i*8) }
+
+// EdgeAddr returns the address of Edges[i].
+func (gm *Mem) EdgeAddr(i int) mem.Addr { return gm.Edges + mem.Addr(i*8) }
+
+// WeightAddr returns the address of Weights[i].
+func (gm *Mem) WeightAddr(i int) mem.Addr { return gm.Weights + mem.Addr(i*8) }

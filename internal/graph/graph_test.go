@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bigtiny/internal/mem"
+)
+
+func TestRMatBasicShape(t *testing.T) {
+	g := RMat(8, 8, 42)
+	if g.N != 256 {
+		t.Fatalf("N = %d, want 256", g.N)
+	}
+	if g.M() < 256*8 { // symmetrized: 2x undirected, minus nothing
+		t.Fatalf("M = %d, suspiciously small", g.M())
+	}
+	if g.M()%2 != 0 {
+		t.Fatal("symmetric graph must have even directed edge count")
+	}
+	if len(g.Offsets) != g.N+1 || int(g.Offsets[g.N]) != g.M() {
+		t.Fatal("CSR offsets malformed")
+	}
+}
+
+func TestRMatDeterministic(t *testing.T) {
+	a := RMat(7, 6, 7)
+	b := RMat(7, 6, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed, different graphs")
+		}
+	}
+	c := RMat(7, 6, 8)
+	if c.M() == a.M() {
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+// Property: for any small R-MAT, the CSR is well formed: offsets
+// monotone, adjacency sorted and deduplicated, no self loops, and the
+// graph is symmetric with symmetric weights.
+func TestRMatWellFormedProperty(t *testing.T) {
+	f := func(seed uint64, s, ef uint8) bool {
+		scale := int(s%4) + 4   // 16..128 vertices
+		factor := int(ef%6) + 2 // 2..7
+		g := RMat(scale, factor, seed)
+		for v := 0; v < g.N; v++ {
+			if g.Offsets[v] > g.Offsets[v+1] {
+				return false
+			}
+			adj := g.Neighbors(v)
+			for i, u := range adj {
+				if int(u) == v {
+					return false // self loop
+				}
+				if i > 0 && adj[i-1] >= u {
+					return false // unsorted or duplicate
+				}
+				// Symmetry: u must list v with the same weight.
+				found := false
+				for j := g.Offsets[u]; j < g.Offsets[u+1]; j++ {
+					if int(g.Edges[j]) == v {
+						found = g.Weights[j] == g.Weights[g.Offsets[v]+int32(i)]
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadIntoRoundTrip(t *testing.T) {
+	g := RMat(6, 4, 3)
+	m := mem.New()
+	gm := LoadInto(m, g)
+	if gm.N != g.N || gm.M != g.M() {
+		t.Fatal("sizes wrong")
+	}
+	for i := 0; i <= g.N; i++ {
+		if m.ReadWord(gm.OffsetAddr(i)) != uint64(g.Offsets[i]) {
+			t.Fatalf("offset %d mismatch", i)
+		}
+	}
+	for i := 0; i < g.M(); i++ {
+		if m.ReadWord(gm.EdgeAddr(i)) != uint64(g.Edges[i]) {
+			t.Fatalf("edge %d mismatch", i)
+		}
+		if m.ReadWord(gm.WeightAddr(i)) != uint64(g.Weights[i]) {
+			t.Fatalf("weight %d mismatch", i)
+		}
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := RMat(6, 4, 3)
+	total := 0
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		if d != len(g.Neighbors(v)) {
+			t.Fatal("degree/neighbors mismatch")
+		}
+		total += d
+	}
+	if total != g.M() {
+		t.Fatalf("degree sum %d != M %d", total, g.M())
+	}
+}

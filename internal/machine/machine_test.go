@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"testing"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/cpu"
+)
+
+func TestAllNamedConfigsBuild(t *testing.T) {
+	for _, name := range Names() {
+		cfg, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(cfg)
+		if len(m.Cores) != cfg.NumCores() {
+			t.Errorf("%s: %d cores built, want %d", name, len(m.Cores), cfg.NumCores())
+		}
+		if cfg.DTS && m.ULI == nil {
+			t.Errorf("%s: DTS config without ULI fabric", name)
+		}
+		if !cfg.DTS && m.ULI != nil {
+			t.Errorf("%s: non-DTS config with ULI fabric", name)
+		}
+	}
+}
+
+func TestPaperConfigTable(t *testing.T) {
+	bt, err := Lookup("bT/MESI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.NumBig != 4 || bt.NumTiny != 60 {
+		t.Errorf("bT core counts = %d big, %d tiny", bt.NumBig, bt.NumTiny)
+	}
+	if bt.Rows != 8 || bt.Cols != 8 || bt.NumBanks != 8 {
+		t.Error("bT mesh/bank geometry wrong")
+	}
+	if bt.L1BigBytes != 64*1024 || bt.L1TinyBytes != 4*1024 {
+		t.Error("L1 sizes wrong")
+	}
+	if bt.L2SetsPerBank*bt.L2Ways*64 != 512*1024 {
+		t.Error("L2 bank should be 512KB")
+	}
+
+	b256, _ := Lookup("bT256/HCC-DTS-gwb")
+	if b256.NumCores() != 256 || b256.NumBanks != 32 || !b256.DTS {
+		t.Error("bT256 geometry wrong")
+	}
+	if b256.DRAMBytesPerCycle != 4*bt.DRAMBytesPerCycle {
+		t.Error("bT256 should have 4x bandwidth")
+	}
+}
+
+func TestCoreKinds(t *testing.T) {
+	m := New(mustCfg(t, "bT/HCC-gwb"))
+	if !m.Big(0) || !m.Big(3) || m.Big(4) {
+		t.Fatal("big/tiny split wrong")
+	}
+	if m.Cores[0].L1D.Protocol() != cache.MESI {
+		t.Error("big core must be MESI")
+	}
+	if m.Cores[4].L1D.Protocol() != cache.GPUWB {
+		t.Error("tiny core protocol wrong")
+	}
+	if !m.Cores[0].Cfg.Big || m.Cores[4].Cfg.Big {
+		t.Error("cpu configs wrong")
+	}
+}
+
+func TestPlacementDistinctNodes(t *testing.T) {
+	for _, name := range []string{"bT/MESI", "bT256/MESI", "O3x8", "tiny64"} {
+		m := New(mustCfg(t, name))
+		seen := map[int]bool{}
+		for c := range m.Cores {
+			n := int(nodeOf(m, c))
+			if seen[n] {
+				t.Fatalf("%s: two cores share node %d", name, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestSmokeRunSimpleProgram(t *testing.T) {
+	m := New(mustCfg(t, "bT/HCC-gwb"))
+	a := m.Mem.Alloc(64)
+	done := make([]bool, 2)
+	m.Spawn(0, func(c *cpu.Core) { // big core
+		c.Compute(10)
+		c.Store(a, 5)
+		done[0] = true
+	})
+	m.Spawn(4, func(c *cpu.Core) { // tiny core
+		c.Compute(100)
+		c.Amo(a, cache.AmoAdd, 1, 0)
+		done[1] = true
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done[0] || !done[1] {
+		t.Fatal("threads did not finish")
+	}
+}
+
+func mustCfg(t *testing.T, name string) Config {
+	t.Helper()
+	c, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// nodeOf recovers a core's mesh node via the cache system config.
+func nodeOf(m *Machine, core int) int {
+	// The L1's node is private; use mesh geometry via Spawn-free check:
+	// hop count from itself must be 0. Simplest: recompute placement.
+	nodes := placeCores(m.Mesh, m.Cfg)
+	return int(nodes[core])
+}

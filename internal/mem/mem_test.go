@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadBackWrites(t *testing.T) {
+	m := New()
+	m.WriteWord(0x10000, 42)
+	m.WriteWord(0x10008, 7)
+	if got := m.ReadWord(0x10000); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if got := m.ReadWord(0x10008); got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestUninitializedReadsZero(t *testing.T) {
+	m := New()
+	if got := m.ReadWord(0xDEAD000); got != 0 {
+		t.Fatalf("uninitialized read = %d, want 0", got)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+	}()
+	m.ReadWord(0x10001)
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	m := New()
+	a := m.Alloc(10)
+	b := m.Alloc(1)
+	c := m.Alloc(200)
+	for _, x := range []Addr{a, b, c} {
+		if x%LineSize != 0 {
+			t.Fatalf("allocation %#x not line-aligned", uint64(x))
+		}
+		if x == 0 {
+			t.Fatal("allocator returned null address")
+		}
+	}
+	if b < a+10 {
+		t.Fatal("allocations overlap")
+	}
+	if LineAddr(a) == LineAddr(b) || LineAddr(b) == LineAddr(c) {
+		t.Fatal("allocations share a cache line")
+	}
+}
+
+func TestLineHelpers(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr(0x1234) = %#x", uint64(LineAddr(0x1234)))
+	}
+	if WordIndex(0x1238) != 7 {
+		t.Fatalf("WordIndex(0x1238) = %d, want 7", WordIndex(0x1238))
+	}
+	if WordIndex(0x1200) != 0 {
+		t.Fatalf("WordIndex(0x1200) = %d, want 0", WordIndex(0x1200))
+	}
+}
+
+func TestReadLineAndMaskedWrite(t *testing.T) {
+	m := New()
+	base := m.AllocWords(WordsPerLine)
+	for i := 0; i < WordsPerLine; i++ {
+		m.WriteWord(base+Addr(i*WordSize), uint64(100+i))
+	}
+	var line [WordsPerLine]uint64
+	m.ReadLine(base+16, &line) // any address within the line works
+	for i := 0; i < WordsPerLine; i++ {
+		if line[i] != uint64(100+i) {
+			t.Fatalf("line[%d] = %d", i, line[i])
+		}
+	}
+	// Masked write: only words 1 and 3.
+	line = [WordsPerLine]uint64{0: 1, 1: 2, 2: 3, 3: 4}
+	m.WriteLineMasked(base, &line, 0b1010)
+	if m.ReadWord(base) != 100 || m.ReadWord(base+8) != 2 ||
+		m.ReadWord(base+16) != 102 || m.ReadWord(base+24) != 4 {
+		t.Fatal("masked write touched wrong words")
+	}
+}
+
+// Property: write-then-read returns the written value for arbitrary
+// word-aligned addresses, including chunk boundaries.
+func TestWriteReadProperty(t *testing.T) {
+	m := New()
+	f := func(rawAddr uint32, v uint64) bool {
+		a := Addr(rawAddr) &^ (WordSize - 1)
+		m.WriteWord(a, v)
+		return m.ReadWord(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the allocator never hands out overlapping regions.
+func TestAllocNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := New()
+		type region struct{ lo, hi Addr }
+		var regs []region
+		for _, s := range sizes {
+			n := int(s%1024) + 1
+			base := m.Alloc(n)
+			for _, r := range regs {
+				if base < r.hi && r.lo < base+Addr(n) {
+					return false
+				}
+			}
+			regs = append(regs, region{base, base + Addr(n)})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package prog
+
+import (
+	"testing"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+)
+
+func TestNativeEnvBasics(t *testing.T) {
+	m := mem.New()
+	e := NewNativeEnv(m)
+	if e.TID() != 0 || e.NThreads() != 1 || e.Now() != 0 {
+		t.Fatal("native env identity wrong")
+	}
+	a := e.Alloc(4)
+	e.Store(a, 7)
+	if e.Load(a) != 7 {
+		t.Fatal("native load/store broken")
+	}
+	if old := e.Amo(a, cache.AmoAdd, 3, 0); old != 7 {
+		t.Fatalf("amo old = %d", old)
+	}
+	if e.Load(a) != 10 {
+		t.Fatal("amo not applied")
+	}
+	if old := e.Amo(a, cache.AmoCAS, 10, 42); old != 10 || e.Load(a) != 42 {
+		t.Fatal("CAS broken")
+	}
+	if old := e.Amo(a, cache.AmoCAS, 10, 1); old != 42 || e.Load(a) != 42 {
+		t.Fatal("failed CAS wrote")
+	}
+	e.Compute(100)
+	e.CacheInvalidate()
+	e.CacheFlush()
+	if e.Insts == 0 {
+		t.Fatal("instructions not counted")
+	}
+	if e.HasULI() {
+		t.Fatal("native env claims ULI")
+	}
+}
+
+func TestNativeEnvULIPanics(t *testing.T) {
+	e := NewNativeEnv(mem.New())
+	for name, f := range map[string]func(){
+		"enable":  e.ULIEnable,
+		"disable": e.ULIDisable,
+		"send":    func() { e.ULISendReq(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNativeAmoInstCount(t *testing.T) {
+	e := NewNativeEnv(mem.New())
+	a := e.Alloc(1)
+	before := e.Insts
+	e.Load(a)
+	e.Store(a, 1)
+	e.Amo(a, cache.AmoOr, 0, 0)
+	if e.Insts != before+3 {
+		t.Fatalf("memory ops counted %d insts, want 3", e.Insts-before)
+	}
+}
+
+func TestSimEnvRoundTrip(t *testing.T) {
+	cfg, err := machine.Lookup("bT/HCC-DTS-gwb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumBig, cfg.NumTiny = 1, 3
+	cfg.Rows, cfg.Cols = 1, 4
+	cfg.NumBanks = 2
+	m := machine.New(cfg)
+	a := m.Mem.AllocWords(1)
+	var tid, nth int
+	var loaded uint64
+	var now sim.Time
+	m.Spawn(2, func(core *cpu.Core) {
+		e := NewSimEnv(m, core)
+		tid, nth = e.TID(), e.NThreads()
+		if !e.HasULI() {
+			t.Error("DTS machine should expose ULI")
+		}
+		e.Compute(10)
+		e.Store(a, 5)
+		e.Amo(a, cache.AmoAdd, 2, 0)
+		loaded = e.Load(a)
+		b := e.Alloc(8)
+		e.Store(b, 1)
+		e.CacheFlush()
+		e.CacheInvalidate()
+		now = e.Now()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tid != 2 || nth != 4 {
+		t.Fatalf("tid=%d nth=%d", tid, nth)
+	}
+	if loaded != 7 {
+		t.Fatalf("loaded = %d, want 7", loaded)
+	}
+	if now == 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestSimEnvRandPerThread(t *testing.T) {
+	cfg, _ := machine.Lookup("bT/MESI")
+	cfg.NumBig, cfg.NumTiny = 0, 2
+	cfg.Rows, cfg.Cols = 1, 2
+	cfg.NumBanks = 1
+	m := machine.New(cfg)
+	vals := make([]uint64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Spawn(i, func(core *cpu.Core) {
+			e := NewSimEnv(m, core)
+			vals[i] = e.Rand().Uint64()
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] == vals[1] {
+		t.Fatal("per-thread PRNGs identical")
+	}
+}

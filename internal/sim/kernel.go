@@ -1,0 +1,125 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a time-ordered event queue. Simulated hardware threads
+// (Procs) run ordinary Go code in goroutines, but control is handed back
+// and forth with strict channel handshakes so that exactly one goroutine
+// — either the kernel or a single Proc — executes at any moment. All
+// simulator state can therefore be mutated without locks, and a given
+// seed and workload always produce the same cycle counts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time measured in clock cycles.
+type Time uint64
+
+// Forever is a time later than any reachable simulation time.
+const Forever = Time(^uint64(0))
+
+// event is a scheduled callback. Events at equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event engine. The zero value is not usable;
+// call NewKernel.
+type Kernel struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	procs []*Proc
+
+	// maxTime aborts runaway simulations (e.g. a livelocked runtime).
+	maxTime Time
+	// err records a crash in simulated software (a proc panic); Run
+	// stops and returns it, modelling a machine crash.
+	err error
+}
+
+// NewKernel returns an empty kernel positioned at cycle 0.
+func NewKernel() *Kernel {
+	return &Kernel{maxTime: Forever}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetDeadline makes Run fail once simulated time exceeds t. Useful as a
+// watchdog against livelocked simulated software.
+func (k *Kernel) SetDeadline(t Time) { k.maxTime = t }
+
+// fail records a simulated-software crash.
+func (k *Kernel) fail(err error) {
+	if k.err == nil {
+		k.err = err
+	}
+}
+
+// At schedules fn to run at time t. Scheduling in the past is an error
+// in the simulator itself, so it panics.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Run processes events until the queue is empty or stop returns true.
+// stop is checked between events and may be nil. It returns an error if
+// the deadline was exceeded or if Procs remain unfinished when the event
+// queue drains (a simulated-software deadlock).
+func (k *Kernel) Run(stop func() bool) error {
+	for k.queue.Len() > 0 {
+		if k.err != nil {
+			return k.err
+		}
+		if stop != nil && stop() {
+			return nil
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.at > k.maxTime {
+			return fmt.Errorf("sim: deadline %d cycles exceeded (now %d)", k.maxTime, e.at)
+		}
+		k.now = e.at
+		e.fn()
+	}
+	if k.err != nil {
+		return k.err
+	}
+	for _, p := range k.procs {
+		if !p.finished {
+			return fmt.Errorf("sim: deadlock: proc %q blocked at cycle %d with empty event queue", p.name, k.now)
+		}
+	}
+	return nil
+}

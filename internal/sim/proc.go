@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated hardware thread context. The body function runs in
+// its own goroutine but only ever executes while the kernel is blocked
+// handing it control, so Proc code may freely mutate shared simulator
+// state. A Proc gives up control by calling WaitUntil/Delay (advancing
+// its local time) or by returning from its body.
+type Proc struct {
+	k        *Kernel
+	name     string
+	cont     chan struct{} // kernel -> proc: "you run now"
+	back     chan struct{} // proc -> kernel: "I yielded"
+	finished bool
+	started  bool
+	body     func(*Proc)
+}
+
+// NewProc registers a simulated thread that begins executing body at
+// time start. The body receives the Proc so it can wait on simulated
+// time.
+func (k *Kernel) NewProc(name string, start Time, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		name: name,
+		cont: make(chan struct{}),
+		back: make(chan struct{}),
+		body: body,
+	}
+	k.procs = append(k.procs, p)
+	k.At(start, func() { p.resume() })
+	return p
+}
+
+// resume hands control to the proc and blocks the kernel until the proc
+// yields back. Runs in the kernel goroutine.
+func (p *Proc) resume() {
+	if p.finished {
+		panic(fmt.Sprintf("sim: resuming finished proc %q", p.name))
+	}
+	if !p.started {
+		p.started = true
+		go func() {
+			<-p.cont
+			defer func() {
+				if r := recover(); r != nil {
+					p.k.fail(fmt.Errorf("sim: proc %q crashed: %v", p.name, r))
+				}
+				p.finished = true
+				p.back <- struct{}{}
+			}()
+			p.body(p)
+		}()
+	}
+	p.cont <- struct{}{}
+	<-p.back
+}
+
+// Kernel returns the kernel this proc runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the proc's debug name.
+func (p *Proc) Name() string { return p.name }
+
+// WaitUntil blocks the simulated thread until time t. Waiting for the
+// current time (or the past, which is clamped) costs nothing and does
+// not yield, preserving atomicity of zero-time sequences.
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.At(t, func() { p.resume() })
+	p.yield()
+}
+
+// Delay blocks the simulated thread for d cycles.
+func (p *Proc) Delay(d Time) { p.WaitUntil(p.k.now + d) }
+
+// Block parks the proc indefinitely; something else must call Unblock.
+// Used for interrupt-style wakeups (e.g. a ULI response arriving).
+func (p *Proc) Block() { p.yield() }
+
+// Unblock schedules the proc to resume at time t. Must only be called
+// for a proc parked with Block.
+func (p *Proc) Unblock(t Time) {
+	p.k.At(t, func() { p.resume() })
+}
+
+// yield returns control to the kernel and blocks until resumed.
+func (p *Proc) yield() {
+	p.back <- struct{}{}
+	<-p.cont
+}

@@ -1,0 +1,152 @@
+// Package stats collects the per-run metrics the paper's evaluation
+// reports: execution cycles, per-category tiny-core time breakdowns
+// (Fig. 7), L1 hit rates (Fig. 6), invalidation/flush counts
+// (Table IV), network traffic by message category (Fig. 8), and ULI
+// activity (§VI-C).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/noc"
+	"bigtiny/internal/sim"
+	"bigtiny/internal/uli"
+	"bigtiny/internal/wsrt"
+)
+
+// Run is the metric snapshot of one completed simulation.
+type Run struct {
+	Config string
+	App    string
+	Cycles sim.Time
+
+	// Insts counts instructions executed on all cores.
+	Insts uint64
+
+	// TinyBreakdown aggregates tiny-core cycles per Fig. 7 category;
+	// BigBreakdown likewise for big cores.
+	TinyBreakdown [cpu.NumClasses]uint64
+	BigBreakdown  [cpu.NumClasses]uint64
+
+	// L1Tiny / L1Big aggregate private-cache statistics per core kind.
+	L1Tiny cache.L1Stats
+	L1Big  cache.L1Stats
+
+	L2 cache.L2Stats
+
+	Traffic  noc.Traffic
+	ByteHops uint64
+	AvgHops  float64
+	// NoCMaxUtil / NoCMeanUtil are data-mesh link utilizations.
+	NoCMaxUtil, NoCMeanUtil float64
+	// DRAMReads/Writes count line transfers at the memory controllers.
+	DRAMReads, DRAMWrites uint64
+
+	// ULI is present only on DTS machines.
+	ULI            *uli.Stats
+	ULIMeshMaxUtil float64
+	ULIAvgLatency  float64
+
+	RT wsrt.RunStats
+}
+
+// Collect snapshots all counters from a finished machine/runtime pair.
+func Collect(m *machine.Machine, rt *wsrt.RT, app string) *Run {
+	r := &Run{
+		Config:   m.Cfg.Name,
+		App:      app,
+		Cycles:   m.Kernel.Now(),
+		Traffic:  m.Mesh.Traffic,
+		ByteHops: m.Mesh.ByteHops,
+		AvgHops:  m.Mesh.AvgHops(),
+	}
+	r.NoCMaxUtil, r.NoCMeanUtil = m.Mesh.LinkUtilization(r.Cycles)
+	if rt != nil {
+		r.RT = rt.Stats
+	}
+	for _, core := range m.Cores {
+		r.Insts += core.Insts
+		if core.Cfg.Big {
+			for cls := 0; cls < int(cpu.NumClasses); cls++ {
+				r.BigBreakdown[cls] += core.Cycles[cls]
+			}
+			r.L1Big.Add(&core.L1D.Stats)
+		} else {
+			for cls := 0; cls < int(cpu.NumClasses); cls++ {
+				r.TinyBreakdown[cls] += core.Cycles[cls]
+			}
+			r.L1Tiny.Add(&core.L1D.Stats)
+		}
+	}
+	r.L2 = m.Cache.L2Stats
+	for _, mc := range m.MCs {
+		r.DRAMReads += mc.Reads
+		r.DRAMWrites += mc.Writes
+	}
+	if m.ULI != nil {
+		s := m.ULI.Stats
+		r.ULI = &s
+		maxU, _ := m.ULI.Mesh().LinkUtilization(r.Cycles)
+		r.ULIMeshMaxUtil = maxU
+		r.ULIAvgLatency = s.AvgLatency()
+	}
+	return r
+}
+
+// TinyHitRate returns the tiny-core L1D hit rate (Fig. 6 metric).
+func (r *Run) TinyHitRate() float64 { return r.L1Tiny.HitRate() }
+
+// TinyTotalCycles sums the tiny-core breakdown.
+func (r *Run) TinyTotalCycles() uint64 {
+	var s uint64
+	for _, v := range r.TinyBreakdown {
+		s += v
+	}
+	return s
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func Speedup(base, r *Run) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// PctDecrease returns the percentage decrease from base to v.
+func PctDecrease(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(base) - float64(v)) / float64(base)
+}
+
+// BreakdownString formats a Fig. 7 style breakdown as percentages.
+func BreakdownString(b [cpu.NumClasses]uint64) string {
+	var total uint64
+	for _, v := range b {
+		total += v
+	}
+	if total == 0 {
+		return "(idle)"
+	}
+	parts := make([]string, 0, cpu.NumClasses)
+	for cls := 0; cls < int(cpu.NumClasses); cls++ {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%",
+			cpu.Class(cls), 100*float64(b[cls])/float64(total)))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// TrafficString formats a Fig. 8 style per-category byte report.
+func TrafficString(t *noc.Traffic) string {
+	parts := make([]string, 0, noc.NumCategories)
+	for c := 0; c < int(noc.NumCategories); c++ {
+		parts = append(parts, fmt.Sprintf("%s=%d", noc.Category(c), t.Bytes[c]))
+	}
+	return strings.Join(parts, " ")
+}

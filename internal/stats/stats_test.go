@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/noc"
+	"bigtiny/internal/wsrt"
+)
+
+func smallRun(t *testing.T, cfgName string) *Run {
+	t.Helper()
+	cfg, err := machine.Lookup(cfgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NumBig, cfg.NumTiny = 1, 3
+	cfg.Rows, cfg.Cols = 1, 4
+	cfg.NumBanks = 2
+	m := machine.New(cfg)
+	rt := wsrt.New(m, wsrt.AutoVariant(m))
+	fid := rt.RegisterFunc("w", 512)
+	arr := m.Mem.AllocWords(128)
+	if err := rt.Run(func(c *wsrt.Ctx) {
+		c.ParallelFor(fid, 0, 128, 8, func(cc *wsrt.Ctx, i int) {
+			cc.Compute(20)
+			cc.Store(arr+mem.Addr(i*8), uint64(i))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return Collect(m, rt, "w")
+}
+
+func TestCollectBasics(t *testing.T) {
+	r := smallRun(t, "bT/HCC-gwb")
+	if r.Config == "" || r.App != "w" {
+		t.Fatal("identity fields missing")
+	}
+	if r.Cycles == 0 || r.Insts == 0 {
+		t.Fatal("no cycles/insts collected")
+	}
+	if r.TinyTotalCycles() == 0 {
+		t.Fatal("tiny cycles not aggregated")
+	}
+	if r.L1Tiny.Accesses() == 0 {
+		t.Fatal("tiny L1 accesses not aggregated")
+	}
+	if r.Traffic.TotalBytes() == 0 {
+		t.Fatal("traffic not captured")
+	}
+	if hr := r.TinyHitRate(); hr <= 0 || hr > 1 {
+		t.Fatalf("hit rate %v out of range", hr)
+	}
+	if r.ULI != nil {
+		t.Fatal("non-DTS machine reported ULI stats")
+	}
+}
+
+func TestCollectULI(t *testing.T) {
+	r := smallRun(t, "bT/HCC-DTS-gwb")
+	if r.ULI == nil {
+		t.Fatal("DTS machine missing ULI stats")
+	}
+}
+
+func TestSpeedupAndPctDecrease(t *testing.T) {
+	a := &Run{Cycles: 1000}
+	b := &Run{Cycles: 250}
+	if got := Speedup(a, b); got != 4 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if got := Speedup(a, &Run{}); got != 0 {
+		t.Fatalf("speedup by zero = %v", got)
+	}
+	if got := PctDecrease(200, 20); got != 90 {
+		t.Fatalf("pct decrease = %v", got)
+	}
+	if got := PctDecrease(0, 5); got != 0 {
+		t.Fatalf("pct decrease from zero = %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b [cpu.NumClasses]uint64
+	if got := BreakdownString(b); got != "(idle)" {
+		t.Fatalf("empty breakdown = %q", got)
+	}
+	b[cpu.ClassLoad] = 75
+	b[cpu.ClassOther] = 25
+	s := BreakdownString(b)
+	if !strings.Contains(s, "DataLoad 75.0%") || !strings.Contains(s, "Others 25.0%") {
+		t.Fatalf("breakdown = %q", s)
+	}
+}
+
+func TestTrafficString(t *testing.T) {
+	var tr noc.Traffic
+	tr.Bytes[noc.CPUReq] = 100
+	s := TrafficString(&tr)
+	if !strings.Contains(s, "cpu_req=100") || !strings.Contains(s, "coh_resp=0") {
+		t.Fatalf("traffic string = %q", s)
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace records cycle-stamped runtime events (spawns, steals,
+// task execution) for debugging and for visualizing scheduler
+// behaviour. Recording is optional: a nil *Recorder is a no-op, so the
+// runtime can stay allocation-free when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"bigtiny/internal/sim"
+)
+
+// Kind classifies a runtime event.
+type Kind uint8
+
+// Runtime event kinds.
+const (
+	Spawn     Kind = iota // a task was enqueued (arg = task descriptor)
+	ExecStart             // a task began executing (arg = task descriptor)
+	ExecEnd               // a task finished (arg = task descriptor)
+	StealTry              // a steal attempt began (arg = victim thread)
+	StealHit              // a steal succeeded (arg = task descriptor)
+	StealMiss             // a steal found nothing / was NACKed (arg = victim)
+	Done                  // the program raised the termination flag
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"spawn", "exec-start", "exec-end", "steal-try", "steal-hit", "steal-miss", "done",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one cycle-stamped runtime event.
+type Event struct {
+	T    sim.Time
+	Core int
+	Kind Kind
+	Arg  uint64
+}
+
+// Recorder accumulates events in order. It is safe for use from the
+// simulator (which is single-threaded by construction).
+type Recorder struct {
+	Events []Event
+	// Limit caps stored events (0 = unlimited); the counter keeps
+	// counting so truncation is detectable.
+	Limit   int
+	Dropped uint64
+}
+
+// Emit records one event. Nil receivers are no-ops, so callers never
+// need to branch on whether tracing is enabled.
+func (r *Recorder) Emit(t sim.Time, core int, k Kind, arg uint64) {
+	if r == nil {
+		return
+	}
+	if r.Limit > 0 && len(r.Events) >= r.Limit {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, Event{T: t, Core: core, Kind: k, Arg: arg})
+}
+
+// Count returns the number of recorded events of kind k.
+func (r *Recorder) Count(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTo dumps the trace as one line per event.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, e := range r.Events {
+		n, err := fmt.Fprintf(w, "%12d core%-3d %-11s %#x\n", e.T, e.Core, e.Kind, e.Arg)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if r.Dropped > 0 {
+		n, err := fmt.Fprintf(w, "(+%d events dropped beyond limit)\n", r.Dropped)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

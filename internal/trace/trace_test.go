@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"bigtiny/internal/sim"
+)
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, 2, Spawn, 3) // must not panic
+	if r.Count(Spawn) != 0 {
+		t.Fatal("nil recorder counted events")
+	}
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatal("nil recorder wrote")
+	}
+}
+
+func TestEmitAndCount(t *testing.T) {
+	r := &Recorder{}
+	r.Emit(10, 0, Spawn, 0xA)
+	r.Emit(20, 1, StealTry, 0)
+	r.Emit(30, 1, StealHit, 0xA)
+	r.Emit(40, 1, ExecStart, 0xA)
+	r.Emit(50, 1, ExecEnd, 0xA)
+	if r.Count(Spawn) != 1 || r.Count(StealHit) != 1 || r.Count(StealMiss) != 0 {
+		t.Fatalf("counts wrong: %+v", r.Events)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"spawn", "steal-hit", "exec-start", "core1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLimitDropsButCounts(t *testing.T) {
+	r := &Recorder{Limit: 2}
+	for i := 0; i < 5; i++ {
+		r.Emit(sim.Time(i), 0, Spawn, 0)
+	}
+	if len(r.Events) != 2 || r.Dropped != 3 {
+		t.Fatalf("events=%d dropped=%d", len(r.Events), r.Dropped)
+	}
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	if !strings.Contains(sb.String(), "3 events dropped") {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if Spawn.String() != "spawn" || Done.String() != "done" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind not formatted")
+	}
+}

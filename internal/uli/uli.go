@@ -1,0 +1,206 @@
+// Package uli models the inter-processor user-level interrupt (ULI)
+// mechanism that direct task stealing is built on (paper §IV-A, §V-A):
+// a dedicated mesh network with single-word messages and two virtual
+// channels (request/response, modelled as separate traffic categories on
+// a dedicated mesh so they cannot deadlock against each other), plus a
+// per-core hardware unit with a one-deep request buffer that NACKs when
+// busy or when the receiving core has ULI disabled.
+//
+// A steal response carries the stolen task pointer as its single-word
+// payload (the per-thread "mailbox" register of paper Fig. 3c).
+package uli
+
+import (
+	"bigtiny/internal/noc"
+	"bigtiny/internal/sim"
+)
+
+// Message sizes: a ULI message is a single word plus header.
+const msgBytes = 16
+
+// Handler services a steal request on the victim core. It runs on the
+// victim's simulated thread (its env ops cost victim cycles) and
+// returns the single-word payload for the response (the stolen task
+// pointer, or 0 for "nothing to steal").
+type Handler func(thief int) uint64
+
+// Stats aggregates ULI activity for the paper's §VI-C overhead report.
+type Stats struct {
+	Reqs        uint64 // requests sent
+	Acks        uint64 // successful responses
+	Nacks       uint64 // refused requests
+	HandlerRuns uint64
+	// LatencySum accumulates request-to-response cycles for Acks.
+	LatencySum sim.Time
+}
+
+// AvgLatency returns the mean ACK round-trip latency.
+func (s *Stats) AvgLatency() float64 {
+	if s.Acks == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Acks)
+}
+
+// Fabric is the ULI interconnect plus all core units.
+type Fabric struct {
+	kernel *sim.Kernel
+	mesh   *noc.Mesh
+	units  []*Unit
+	Stats  Stats
+}
+
+// NewFabric builds the ULI network for numCores cores whose positions
+// are given by nodeOf.
+func NewFabric(k *sim.Kernel, rows, cols, numCores int, nodeOf func(core int) noc.NodeID) *Fabric {
+	f := &Fabric{kernel: k, mesh: noc.NewMesh(rows, cols)}
+	for c := 0; c < numCores; c++ {
+		f.units = append(f.units, &Unit{fabric: f, core: c, node: nodeOf(c)})
+	}
+	return f
+}
+
+// Mesh exposes the dedicated ULI mesh (for utilization reporting).
+func (f *Fabric) Mesh() *noc.Mesh { return f.mesh }
+
+// Unit returns core's ULI unit.
+func (f *Fabric) Unit(core int) *Unit { return f.units[core] }
+
+// Unit is the per-core ULI send/receive hardware.
+type Unit struct {
+	fabric *Fabric
+	core   int
+	node   noc.NodeID
+
+	enabled bool
+	// pending is the one-deep request buffer.
+	pending *request
+	// handling marks that the handler is currently running.
+	handling bool
+	// waiting marks that this core is blocked inside SendReq; incoming
+	// requests are NACKed (interrupts deferred during an in-flight send,
+	// which also rules out thief/thief deadlock).
+	waiting bool
+
+	handler Handler
+	// EntryLat models pipeline drain before vectoring to the handler
+	// (a few cycles on the in-order tiny cores, 10-50 on the big cores;
+	// paper §VI-C).
+	EntryLat sim.Time
+
+	// respPayload/respOK hold the hardware response register while the
+	// sender is blocked.
+	respPayload uint64
+	respOK      bool
+	respAt      sim.Time
+
+	// proc is the simulated thread running on this core (set by Bind).
+	proc *sim.Proc
+}
+
+type request struct {
+	thief   int
+	arrived sim.Time
+	sentAt  sim.Time
+}
+
+// SetHandler installs the software ULI handler (runtime init).
+func (u *Unit) SetHandler(h Handler) { u.handler = h }
+
+// Enabled reports whether ULI delivery is enabled.
+func (u *Unit) Enabled() bool { return u.enabled }
+
+// Enable turns on ULI delivery (uli_enable; 1 cycle, charged by caller).
+func (u *Unit) Enable() { u.enabled = true }
+
+// Disable turns off ULI delivery (uli_disable). A buffered,
+// not-yet-delivered request is NACKed: a disabled core replies NACK
+// (paper §IV-A), and this also guarantees that a core can never exit
+// with a thief still blocked on it.
+func (u *Unit) Disable() {
+	u.enabled = false
+	if u.pending != nil {
+		req := u.pending
+		u.pending = nil
+		u.fabric.nack(u.fabric.kernel.Now(), u, req.thief)
+	}
+}
+
+// SendReq sends a steal request from this core's thread (running on
+// proc) to the victim core and blocks until the ACK or NACK arrives.
+// It returns the response payload and whether the steal was accepted.
+// The victim's handler runs on the victim's own thread (paper: "the
+// victim steals tasks on behalf of the thief").
+func (u *Unit) SendReq(proc *sim.Proc, victim int) (payload uint64, ok bool) {
+	f := u.fabric
+	f.Stats.Reqs++
+	v := f.units[victim]
+	sentAt := proc.Now()
+	arrive := f.mesh.Send(sentAt, u.node, v.node, msgBytes, noc.SyncReq)
+	u.waiting = true
+	f.kernel.At(arrive, func() { v.receive(u.core, arrive, sentAt) })
+	proc.Block() // resumed by the response (or NACK) arrival event
+	u.waiting = false
+	proc.WaitUntil(u.respAt)
+	return u.respPayload, u.respOK
+}
+
+// receive runs in the kernel at request-arrival time on the victim
+// unit.
+func (u *Unit) receive(thief int, now, sentAt sim.Time) {
+	if !u.enabled || u.handling || u.waiting || u.pending != nil {
+		u.fabric.nack(now, u, thief)
+		return
+	}
+	// Buffer the request; the victim's thread picks it up at its next
+	// interruptible instruction boundary (Poll).
+	u.pending = &request{thief: thief, arrived: now, sentAt: sentAt}
+}
+
+// nack sends a refusal back to the thief.
+func (f *Fabric) nack(now sim.Time, victim *Unit, thief int) {
+	f.Stats.Nacks++
+	t := f.units[thief]
+	arrive := f.mesh.Send(now, victim.node, t.node, msgBytes, noc.SyncResp)
+	t.respPayload, t.respOK, t.respAt = 0, false, arrive
+	t.unblockAt(arrive)
+}
+
+// unblockAt wakes the blocked sending thread at time at.
+func (u *Unit) unblockAt(at sim.Time) {
+	if u.proc == nil {
+		panic("uli: response for a core with no thread")
+	}
+	u.proc.Unblock(at)
+}
+
+// Bind attaches the simulated thread that runs on this unit's core.
+func (u *Unit) Bind(p *sim.Proc) { u.proc = p }
+
+// Poll must be called by the core model at every instruction boundary.
+// If a buffered request is deliverable, the ULI handler runs inline on
+// this (victim) thread: entry stall, handler body, then the response
+// send. Poll returns after the response is sent; the victim resumes its
+// interrupted work.
+func (u *Unit) Poll(proc *sim.Proc) {
+	if u.pending == nil || !u.enabled || u.handling {
+		return
+	}
+	req := u.pending
+	u.pending = nil
+	u.handling = true
+	u.fabric.Stats.HandlerRuns++
+	proc.Delay(u.EntryLat)
+	payload := uint64(0)
+	if u.handler != nil {
+		payload = u.handler(req.thief)
+	}
+	f := u.fabric
+	f.Stats.Acks++
+	t := f.units[req.thief]
+	arrive := f.mesh.Send(proc.Now(), u.node, t.node, msgBytes, noc.SyncResp)
+	f.Stats.LatencySum += arrive - req.sentAt
+	t.respPayload, t.respOK, t.respAt = payload, true, arrive
+	t.unblockAt(arrive)
+	u.handling = false
+}

@@ -1,0 +1,151 @@
+package wsrt
+
+import (
+	"testing"
+
+	"bigtiny/internal/mem"
+	"bigtiny/internal/trace"
+)
+
+// TestDTSNoOptCorrect: the ablated runtime must still be correct on
+// every software-centric protocol (it is strictly more conservative).
+func TestDTSNoOptCorrect(t *testing.T) {
+	for _, p := range []string{"dnv", "gwt", "gwb"} {
+		m := smallMachine(t, p, true)
+		rt := New(m, DTSNoOpt)
+		fid := rt.RegisterFunc("fib", 512)
+		out := m.Mem.AllocWords(1)
+		if err := rt.Run(fibProgram(fid, 15, out)); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got := m.Cache.DebugReadWord(out); got != fib15 {
+			t.Errorf("%s: fib(15) = %d, want %d", p, got, fib15)
+		}
+	}
+}
+
+// TestSection4COptimizationsReduceAMOs quantifies the paper's §IV-C
+// claim: the has_stolen_child tracking lets DTS replace most
+// reference-count AMOs with plain accesses and skip most end-of-wait
+// invalidations. The ablated variant must perform strictly more AMOs
+// and more invalidations.
+func TestSection4COptimizationsReduceAMOs(t *testing.T) {
+	counters := func(v Variant) (amos, invOps uint64) {
+		m := smallMachine(t, "gwb", true)
+		rt := New(m, v)
+		fid := rt.RegisterFunc("fib", 512)
+		out := m.Mem.AllocWords(1)
+		if err := rt.Run(fibProgram(fid, 16, out)); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Cache.DebugReadWord(out); got != 987 {
+			t.Fatalf("fib(16) = %d", got)
+		}
+		for _, core := range m.Cores {
+			amos += core.L1D.Stats.Amos
+			invOps += core.L1D.Stats.InvOps
+		}
+		return amos, invOps
+	}
+	optAmos, optInv := counters(DTS)
+	noAmos, noInv := counters(DTSNoOpt)
+	if optAmos*2 >= noAmos {
+		t.Errorf("§IV-C opts: AMOs %d (DTS) vs %d (no-opt); expected a large reduction", optAmos, noAmos)
+	}
+	if optInv >= noInv {
+		t.Errorf("§IV-C opts: invalidate ops %d (DTS) vs %d (no-opt)", optInv, noInv)
+	}
+}
+
+// TestDTSNoOptSlowerOnGWB: the optimizations must also translate into
+// cycles on the protocol where AMOs and invalidations are costly.
+func TestDTSNoOptSlowerOnGWB(t *testing.T) {
+	elapsed := func(v Variant) uint64 {
+		m := smallMachine(t, "gwb", true)
+		rt := New(m, v)
+		fid := rt.RegisterFunc("pf", 512)
+		n := 2048
+		arr := m.Mem.AllocWords(n)
+		if err := rt.Run(func(c *Ctx) {
+			c.ParallelFor(fid, 0, n, 16, func(cc *Ctx, i int) {
+				cc.Compute(30)
+				cc.Store(arr+mem.Addr(i*8), uint64(i))
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(m.Kernel.Now())
+	}
+	opt := elapsed(DTS)
+	noOpt := elapsed(DTSNoOpt)
+	if opt >= noOpt {
+		t.Errorf("DTS (%d cycles) not faster than DTS-noopt (%d cycles)", opt, noOpt)
+	}
+}
+
+// TestTracerRecordsSchedulerEvents exercises the tracing hooks
+// end-to-end: every spawn must pair with exactly one execution, and
+// steal hits must match the runtime stats.
+func TestTracerRecordsSchedulerEvents(t *testing.T) {
+	m := smallMachine(t, "gwb", true)
+	rt := New(m, DTS)
+	rec := &trace.Recorder{}
+	rt.Tracer = rec
+	fid := rt.RegisterFunc("fib", 512)
+	out := m.Mem.AllocWords(1)
+	if err := rt.Run(fibProgram(fid, 12, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(rec.Count(trace.Spawn)); got != rt.Stats.Spawns {
+		t.Errorf("traced spawns %d != stats %d", got, rt.Stats.Spawns)
+	}
+	if got := uint64(rec.Count(trace.StealHit)); got != rt.Stats.StealHits {
+		t.Errorf("traced steal hits %d != stats %d", got, rt.Stats.StealHits)
+	}
+	if rec.Count(trace.ExecStart) != rec.Count(trace.ExecEnd) {
+		t.Error("unbalanced exec events")
+	}
+	if rec.Count(trace.Done) != 1 {
+		t.Errorf("done events = %d, want 1", rec.Count(trace.Done))
+	}
+	// Events must be weakly time-ordered per core.
+	last := map[int]uint64{}
+	for _, e := range rec.Events {
+		if uint64(e.T) < last[e.Core] {
+			t.Fatalf("out-of-order event for core %d", e.Core)
+		}
+		last[e.Core] = uint64(e.T)
+	}
+}
+
+// TestVictimPoliciesAllCorrect: every victim-selection policy must
+// preserve correctness and make steals.
+func TestVictimPoliciesAllCorrect(t *testing.T) {
+	for _, pol := range []VictimPolicy{RandomVictim, RoundRobinVictim, StickyVictim} {
+		m := smallMachine(t, "gwb", true)
+		rt := New(m, DTS)
+		rt.Victim = pol
+		fid := rt.RegisterFunc("fib", 512)
+		out := m.Mem.AllocWords(1)
+		if err := rt.Run(fibProgram(fid, 15, out)); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if got := m.Cache.DebugReadWord(out); got != fib15 {
+			t.Errorf("%v: fib(15) = %d, want %d", pol, got, fib15)
+		}
+		if rt.Stats.StealHits == 0 {
+			t.Errorf("%v: no steals happened", pol)
+		}
+	}
+}
+
+// TestVictimPolicyNames covers the String method.
+func TestVictimPolicyNames(t *testing.T) {
+	if RandomVictim.String() != "random" || RoundRobinVictim.String() != "round-robin" ||
+		StickyVictim.String() != "sticky" {
+		t.Fatal("policy names wrong")
+	}
+	if VictimPolicy(9).String() == "" {
+		t.Fatal("unknown policy unformatted")
+	}
+}

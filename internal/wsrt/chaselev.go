@@ -1,0 +1,81 @@
+package wsrt
+
+import (
+	"bigtiny/internal/cache"
+	"bigtiny/internal/mem"
+)
+
+// Lock-free Chase-Lev deque operations (Chase & Lev, SPAA 2005 — cited
+// by the paper's §VII discussion of task-queue efficiency). Enabled by
+// RT.LockFreeDeque for the hardware-coherent (HW) runtime: owners push
+// and pop without atomics in the common case; thieves race with a
+// single compare-and-swap on head. The protocol relies on
+// hardware-coherent loads of head/tail, so it is only legal on MESI
+// machines — the HCC variants must keep the lock + invalidate/flush
+// discipline of paper Fig. 3(b).
+//
+// head is only ever incremented (by successful steals and by the owner
+// claiming the last element), so there is no ABA problem.
+
+// clEnq is the owner's lock-free push.
+func (c *Ctx) clEnq(d deque, task mem.Addr) {
+	c.env.Compute(costDequeOp)
+	tail := c.env.Load(d.tailAddr())
+	head := c.env.Load(d.headAddr())
+	if tail-head >= dequeCapacity {
+		panic("wsrt: task deque overflow")
+	}
+	c.env.Store(d.slotAddr(tail), uint64(task))
+	// Publish the element before advancing tail (release store; the
+	// simulated machine is store-atomic at instruction boundaries).
+	c.env.Store(d.tailAddr(), tail+1)
+}
+
+// clDeq is the owner's lock-free pop (LIFO end). The owner reserves the
+// slot by decrementing tail first, then checks whether a thief raced it
+// to the final element; the race is settled by one CAS on head.
+func (c *Ctx) clDeq(d deque) mem.Addr {
+	c.env.Compute(costDequeOp)
+	tail := c.env.Load(d.tailAddr())
+	head := c.env.Load(d.headAddr())
+	if head == tail {
+		return 0 // empty; no reservation needed
+	}
+	t := tail - 1
+	c.env.Store(d.tailAddr(), t) // reserve (fences on real hardware)
+	head = c.env.Load(d.headAddr())
+	switch {
+	case head > t:
+		// A thief already took it; undo the reservation.
+		c.env.Store(d.tailAddr(), tail)
+		return 0
+	case head == t:
+		// Racing for the last element: claim it through head like a
+		// thief would, and restore tail to the now-empty position.
+		won := c.env.Amo(d.headAddr(), cache.AmoCAS, head, head+1) == head
+		c.env.Store(d.tailAddr(), tail)
+		if !won {
+			return 0
+		}
+		return mem.Addr(c.env.Load(d.slotAddr(t)))
+	default:
+		// No race possible: plain pop.
+		return mem.Addr(c.env.Load(d.slotAddr(t)))
+	}
+}
+
+// clSteal is the thief's lock-free FIFO pop: read head/tail, read the
+// slot, then claim it with a CAS on head.
+func (c *Ctx) clSteal(d deque) mem.Addr {
+	c.env.Compute(costDequeOp)
+	head := c.env.Load(d.headAddr())
+	tail := c.env.Load(d.tailAddr())
+	if head >= tail {
+		return 0
+	}
+	t := c.env.Load(d.slotAddr(head))
+	if c.env.Amo(d.headAddr(), cache.AmoCAS, head, head+1) != head {
+		return 0 // lost the race; caller retries elsewhere
+	}
+	return mem.Addr(t)
+}

@@ -1,0 +1,120 @@
+package wsrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/mem"
+)
+
+func TestChaseLevFibCorrect(t *testing.T) {
+	m := smallMachine(t, "mesi", false)
+	rt := New(m, HW)
+	rt.LockFreeDeque = true
+	fid := rt.RegisterFunc("fib", 512)
+	out := m.Mem.AllocWords(1)
+	if err := rt.Run(fibProgram(fid, 16, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cache.DebugReadWord(out); got != 987 {
+		t.Fatalf("fib(16) = %d, want 987 (stats %v)", got, rt.Stats)
+	}
+	if rt.Stats.StealHits == 0 {
+		t.Fatal("lock-free run never stole")
+	}
+}
+
+// Property: under random fork trees, the lock-free deque loses no task
+// and duplicates no task (every spawned task executes exactly once).
+func TestChaseLevNoLossNoDupProperty(t *testing.T) {
+	f := func(seed uint8, width uint8) bool {
+		depth := int(seed%3) + 2
+		w := int(width%2) + 2
+		m := smallMachine(t, "mesi", false)
+		rt := New(m, HW)
+		rt.LockFreeDeque = true
+		fid := rt.RegisterFunc("tree", 512)
+		acc := m.Mem.AllocWords(1)
+		var expect uint64
+		var rec func(c *Ctx, level int)
+		rec = func(c *Ctx, level int) {
+			c.Compute(5)
+			if level == 0 {
+				c.Amo(acc, cache.AmoAdd, 1, 0)
+				return
+			}
+			bodies := make([]Body, w)
+			for i := range bodies {
+				bodies[i] = func(cc *Ctx) { rec(cc, level-1) }
+			}
+			c.Fork(fid, bodies...)
+		}
+		leaves := uint64(1)
+		for i := 0; i < depth; i++ {
+			leaves *= uint64(w)
+		}
+		expect = leaves
+		if err := rt.Run(func(c *Ctx) { rec(c, depth) }); err != nil {
+			t.Log(err)
+			return false
+		}
+		if got := m.Cache.DebugReadWord(acc); got != expect {
+			t.Logf("leaves executed %d, want %d", got, expect)
+			return false
+		}
+		// Runtime invariant: every spawn executed exactly once.
+		s := rt.Stats
+		return s.LocalExecs+s.StolenExec == s.Spawns+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The lock-free deque must reduce deque-related atomics: the owner's
+// push/pop path performs no AMO at all in the common case.
+func TestChaseLevReducesAtomics(t *testing.T) {
+	amosFor := func(lockFree bool) uint64 {
+		m := smallMachine(t, "mesi", false)
+		rt := New(m, HW)
+		rt.LockFreeDeque = lockFree
+		fid := rt.RegisterFunc("pf", 512)
+		n := 1024
+		arr := m.Mem.AllocWords(n)
+		if err := rt.Run(func(c *Ctx) {
+			c.ParallelFor(fid, 0, n, 16, func(cc *Ctx, i int) {
+				cc.Compute(20)
+				cc.Store(arr+mem.Addr(i*8), uint64(i))
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var amos uint64
+		for _, core := range m.Cores {
+			amos += core.L1D.Stats.Amos
+		}
+		return amos
+	}
+	locked := amosFor(false)
+	lockFree := amosFor(true)
+	if lockFree*2 >= locked {
+		t.Errorf("lock-free AMOs (%d) not well below locked (%d)", lockFree, locked)
+	}
+}
+
+func TestLockFreeIgnoredOnHCC(t *testing.T) {
+	// Setting the flag on an HCC machine must not break correctness —
+	// the HCC engine keeps its lock + invalidate/flush discipline.
+	m := smallMachine(t, "gwb", false)
+	rt := New(m, HCC)
+	rt.LockFreeDeque = true
+	fid := rt.RegisterFunc("fib", 512)
+	out := m.Mem.AllocWords(1)
+	if err := rt.Run(fibProgram(fid, 14, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cache.DebugReadWord(out); got != 377 {
+		t.Fatalf("fib(14) = %d, want 377", got)
+	}
+}

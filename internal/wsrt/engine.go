@@ -1,0 +1,454 @@
+package wsrt
+
+import (
+	"bigtiny/internal/cache"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/trace"
+)
+
+// This file implements paper Figure 3: the deque primitives and the
+// three spawn/wait engines.
+
+// --- deque primitives (all accesses go through simulated memory) ---
+
+// lockAcquire spins on a test-and-set built from amo_or.
+func (c *Ctx) lockAcquire(d deque) {
+	for c.env.Amo(d.lockAddr(), cache.AmoOr, 1, 0) != 0 {
+		c.env.Compute(4) // spin backoff
+	}
+}
+
+// lockRelease stores zero (release on a coherent lock word: the lock
+// word itself is accessed with AMOs, whose L2/ownership handling makes
+// the release visible).
+func (c *Ctx) lockRelease(d deque) {
+	c.env.Amo(d.lockAddr(), cache.AmoAnd, 0, 0)
+}
+
+// enq pushes a task on the tail (owner side, LIFO end).
+func (c *Ctx) enq(d deque, task mem.Addr) {
+	c.env.Compute(costDequeOp)
+	tail := c.env.Load(d.tailAddr())
+	head := c.env.Load(d.headAddr())
+	if tail-head >= dequeCapacity {
+		panic("wsrt: task deque overflow")
+	}
+	c.env.Store(d.slotAddr(tail), uint64(task))
+	c.env.Store(d.tailAddr(), tail+1)
+}
+
+// deq pops from the tail (owner side, LIFO order); 0 when empty.
+func (c *Ctx) deq(d deque) mem.Addr {
+	c.env.Compute(costDequeOp)
+	tail := c.env.Load(d.tailAddr())
+	head := c.env.Load(d.headAddr())
+	if head == tail {
+		return 0
+	}
+	t := c.env.Load(d.slotAddr(tail - 1))
+	c.env.Store(d.tailAddr(), tail-1)
+	return mem.Addr(t)
+}
+
+// stealHead pops from the head (thief side, FIFO order); 0 when empty.
+func (c *Ctx) stealHead(d deque) mem.Addr {
+	c.env.Compute(costDequeOp)
+	head := c.env.Load(d.headAddr())
+	tail := c.env.Load(d.tailAddr())
+	if head == tail {
+		return 0
+	}
+	t := c.env.Load(d.slotAddr(head))
+	c.env.Store(d.headAddr(), head+1)
+	return mem.Addr(t)
+}
+
+// chooseVictim picks a steal victim per the configured policy
+// (default: uniformly random other thread, the paper's
+// "random victim selection").
+func (c *Ctx) chooseVictim() int {
+	c.env.Compute(costVictimSelect)
+	n := c.rt.nthreads
+	if n == 1 {
+		return c.tid // single-threaded: only the (empty) own deque exists
+	}
+	switch c.rt.Victim {
+	case RoundRobinVictim:
+		for {
+			c.rrNext = (c.rrNext + 1) % n
+			if c.rrNext != c.tid {
+				return c.rrNext
+			}
+		}
+	case StickyVictim:
+		// Retry the last successful victim while it keeps paying off.
+		if c.failStreak == 0 && c.lastVictim != c.tid && c.lastVictim < n {
+			return c.lastVictim
+		}
+	}
+	v := c.env.Rand().Intn(n - 1)
+	if v >= c.tid {
+		v++
+	}
+	return v
+}
+
+// --- spawn: Figure 3 lines 1-7 ---
+
+// spawnTask enqueues a task descriptor per the variant's discipline.
+func (c *Ctx) spawnTask(t mem.Addr) {
+	rt := c.rt
+	rt.Stats.Spawns++
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.Spawn, uint64(t))
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+	c.env.Compute(costSpawn)
+	d := rt.deques[c.tid]
+	switch rt.Variant {
+	case HW: // Fig 3(a)
+		if rt.LockFreeDeque {
+			c.clEnq(d, t)
+			return
+		}
+		c.lockAcquire(d)
+		c.enq(d, t)
+		c.lockRelease(d)
+	case HCC: // Fig 3(b): invalidate after acquire, flush before release
+		c.lockAcquire(d)
+		c.env.CacheInvalidate()
+		c.enq(d, t)
+		c.env.CacheFlush()
+		c.lockRelease(d)
+	case DTS, DTSNoOpt: // Fig 3(c): private deque; just defer interrupts
+		c.env.ULIDisable()
+		c.enq(d, t)
+		c.env.ULIEnable()
+	}
+}
+
+// popLocal dequeues from the thread's own deque per the variant.
+func (c *Ctx) popLocal() mem.Addr {
+	rt := c.rt
+	d := rt.deques[c.tid]
+	switch rt.Variant {
+	case HW:
+		if rt.LockFreeDeque {
+			return c.clDeq(d)
+		}
+		c.lockAcquire(d)
+		t := c.deq(d)
+		c.lockRelease(d)
+		return t
+	case HCC:
+		c.lockAcquire(d)
+		c.env.CacheInvalidate()
+		t := c.deq(d)
+		c.env.CacheFlush()
+		c.lockRelease(d)
+		return t
+	case DTS, DTSNoOpt:
+		c.env.ULIDisable()
+		t := c.deq(d)
+		c.env.ULIEnable()
+		return t
+	}
+	panic("wsrt: bad variant")
+}
+
+// probeEmpty checks a victim's deque without taking its lock, using
+// plain loads of head/tail. Thieves probing constantly is the common
+// idle-machine case, and probing with the lock would migrate the lock
+// line's ownership to every prober in turn — a recall storm that
+// serializes the victim's own deque accesses (the classic
+// test-and-set-without-test spin-lock pathology). With plain loads the
+// probe costs the thief two (mostly cached) loads and the victim
+// nothing. Under HCC the probe is preceded by a cache_invalidate so
+// the loads observe fresh values.
+func (c *Ctx) probeEmpty(d deque) bool {
+	c.env.Compute(2)
+	head := c.env.Load(d.headAddr())
+	tail := c.env.Load(d.tailAddr())
+	return head == tail
+}
+
+// trySteal attempts one steal per the variant; returns the stolen task
+// descriptor or 0.
+func (c *Ctx) trySteal() mem.Addr {
+	rt := c.rt
+	rt.Stats.StealTries++
+	vid := c.chooseVictim()
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.StealTry, uint64(vid))
+	t := c.stealFrom(vid)
+	if t != 0 {
+		c.lastVictim = vid
+	}
+	if rt.Tracer != nil {
+		if t != 0 {
+			rt.Tracer.Emit(c.env.Now(), c.tid, trace.StealHit, uint64(t))
+		} else {
+			rt.Tracer.Emit(c.env.Now(), c.tid, trace.StealMiss, uint64(vid))
+		}
+	}
+	return t
+}
+
+// stealFrom performs the per-variant steal against victim vid.
+func (c *Ctx) stealFrom(vid int) mem.Addr {
+	rt := c.rt
+	switch rt.Variant {
+	case HW: // Fig 3(a) lines 19-23, with a lock-free emptiness probe
+		d := rt.deques[vid]
+		if c.probeEmpty(d) {
+			return 0
+		}
+		var t mem.Addr
+		if rt.LockFreeDeque {
+			t = c.clSteal(d)
+		} else {
+			c.lockAcquire(d)
+			t = c.stealHead(d)
+			c.lockRelease(d)
+		}
+		if t != 0 {
+			rt.Stats.StealHits++
+		}
+		return t
+	case HCC: // Fig 3(b) lines 24-30, with an invalidate+probe first
+		d := rt.deques[vid]
+		c.env.CacheInvalidate()
+		if c.probeEmpty(d) {
+			return 0
+		}
+		c.lockAcquire(d)
+		c.env.CacheInvalidate()
+		t := c.stealHead(d)
+		c.env.CacheFlush()
+		c.lockRelease(d)
+		if t != 0 {
+			rt.Stats.StealHits++
+		}
+		return t
+	case DTS, DTSNoOpt: // Fig 3(c) lines 24-27: uli_send_req + mailbox read
+		payload, ok := c.env.ULISendReq(vid)
+		if !ok {
+			rt.Stats.StealNacks++
+			return 0
+		}
+		if payload != 0 {
+			rt.Stats.StealHits++
+		}
+		return mem.Addr(payload)
+	}
+	panic("wsrt: bad variant")
+}
+
+// uliHandler is the DTS steal handler (Fig 3(c) lines 47-54). It runs
+// on the victim's thread at an interrupt boundary; the returned payload
+// is the response message's single word.
+func (c *Ctx) uliHandler(thief int) uint64 {
+	c.env.Compute(costHandlerBody)
+	t := c.deq(c.rt.deques[c.tid])
+	if t == 0 {
+		return 0
+	}
+	// Mark the parent so it switches to AMO-based synchronization
+	// (plain store: the parent task runs on this very thread, §IV-C).
+	parent := mem.Addr(c.env.Load(t + descParent*8))
+	if parent != 0 {
+		c.env.Store(parent+descStolen*8, 1)
+	}
+	// Make everything the victim wrote (task arguments, parent data)
+	// visible before handing the task over.
+	c.env.CacheFlush()
+	return uint64(t)
+}
+
+// --- task execution and joining ---
+
+// executeTask runs a dequeued/stolen task and performs the
+// post-execution join bookkeeping per variant.
+func (c *Ctx) executeTask(t mem.Addr, stolen bool) {
+	rt := c.rt
+	rec := rt.tasks[t]
+	if rec == nil {
+		panic("wsrt: executing unknown task (corrupted deque or stale steal)")
+	}
+	if stolen {
+		rt.Stats.StolenExec++
+	} else {
+		rt.Stats.LocalExecs++
+	}
+
+	if stolen {
+		switch rt.Variant {
+		case HCC, DTS, DTSNoOpt:
+			// The task and its inputs were produced on another core.
+			c.env.CacheInvalidate()
+		}
+	}
+
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.ExecStart, uint64(t))
+	prev := c.cur
+	c.cur = t
+	c.env.SetFunc(rec.fid, rt.footprint(rec.fid))
+	c.env.Compute(costTaskProlog)
+	rec.body(c)
+	c.cur = prev
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.ExecEnd, uint64(t))
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+
+	parent := mem.Addr(c.env.Load(t + descParent*8))
+	if stolen {
+		switch rt.Variant {
+		case HCC, DTS, DTSNoOpt:
+			// Make the task's results visible to the parent's thread.
+			c.env.CacheFlush()
+		}
+	}
+
+	// Join: decrement the parent's reference count.
+	if parent != 0 {
+		rcAddr := parent + descRC*8
+		switch rt.Variant {
+		case HW, HCC, DTSNoOpt:
+			c.env.Amo(rcAddr, cache.AmoAdd, ^uint64(0), 0) // amo_sub(rc, 1)
+		case DTS:
+			if stolen {
+				c.env.Amo(rcAddr, cache.AmoAdd, ^uint64(0), 0)
+			} else if c.env.Load(parent+descStolen*8) != 0 {
+				// A sibling was stolen: fall back to AMOs (Fig 3c line 17).
+				c.env.Amo(rcAddr, cache.AmoAdd, ^uint64(0), 0)
+			} else {
+				// No steal ever happened: plain read-modify-write.
+				rc := c.env.Load(rcAddr)
+				c.env.Store(rcAddr, rc-1)
+			}
+		}
+	}
+	c.freeTask(t)
+}
+
+// readRC reads the waiting task's reference count per variant (HCC
+// always uses an AMO; DTS uses a plain load unless a child was stolen).
+func (c *Ctx) readRC(p mem.Addr) uint64 {
+	rcAddr := p + descRC*8
+	switch c.rt.Variant {
+	case HW:
+		return c.env.Load(rcAddr) // hardware keeps it coherent
+	case HCC, DTSNoOpt:
+		return c.env.Amo(rcAddr, cache.AmoOr, 0, 0)
+	case DTS:
+		if c.env.Load(p+descStolen*8) != 0 {
+			return c.env.Amo(rcAddr, cache.AmoOr, 0, 0)
+		}
+		return c.env.Load(rcAddr)
+	}
+	panic("wsrt: bad variant")
+}
+
+// wait blocks until all of p's children have joined, executing local
+// and stolen tasks meanwhile (Fig 3's wait functions).
+func (c *Ctx) wait(p mem.Addr) {
+	rt := c.rt
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+	for c.readRC(p) > 0 {
+		c.env.Compute(costWaitIter)
+		if t := c.popLocal(); t != 0 {
+			c.executeTask(t, false)
+			continue
+		}
+		if t := c.trySteal(); t != 0 {
+			c.executeTask(t, true)
+			c.failStreak = 0
+		} else {
+			c.idleBackoff()
+		}
+	}
+	// Fig 3(b) line 40 / Fig 3(c) lines 43-44: the parent may have
+	// stale copies of data written by stolen children.
+	switch rt.Variant {
+	case HCC, DTSNoOpt:
+		c.env.CacheInvalidate()
+	case DTS:
+		if c.env.Load(p+descStolen*8) != 0 {
+			c.env.CacheInvalidate()
+		}
+	}
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+}
+
+// workerLoop is the top-level scheduling loop of a non-main thread: it
+// executes local work (appearing after it steals a spawner) and steals
+// until the program sets the done flag.
+func (c *Ctx) workerLoop() {
+	rt := c.rt
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+	for iter := uint64(0); ; iter++ {
+		if c.checkDone(iter) {
+			return
+		}
+		if t := c.popLocal(); t != 0 {
+			c.executeTask(t, false)
+			continue
+		}
+		if t := c.trySteal(); t != 0 {
+			c.executeTask(t, true)
+			c.failStreak = 0
+		} else {
+			c.idleBackoff()
+		}
+	}
+}
+
+// checkDone polls the termination flag. How matters enormously:
+//
+//   - HW (MESI everywhere): a plain load. The flag is cached shared in
+//     every spinning worker and costs nothing until the main thread's
+//     write invalidates the copies. Polling with an AMO instead would
+//     migrate the line's ownership to every poller in turn — with ~60
+//     spinning workers the directory recall storm serializes the whole
+//     machine (this is a classic spin-wait anti-pattern).
+//   - HCC: also a plain load. The cache_invalidate performed at every
+//     deque access in this very loop (Fig. 3b) guarantees the copy is
+//     refreshed each iteration.
+//   - DTS: tiny cores never self-invalidate while idle, so a stale
+//     cached zero would spin forever; poll with amo_or (the coherent
+//     read), but only every few iterations — exactly the kind of cost
+//     DTS's private-deque design accepts for the rare termination check.
+func (c *Ctx) checkDone(iter uint64) bool {
+	rt := c.rt
+	switch rt.Variant {
+	case HW, HCC:
+		return c.env.Load(rt.doneAddr) != 0
+	case DTS, DTSNoOpt:
+		if iter%4 != 0 {
+			return false
+		}
+		return c.env.Amo(rt.doneAddr, cache.AmoOr, 0, 0) != 0
+	}
+	panic("wsrt: bad variant")
+}
+
+// idleBackoff burns exponentially growing compute after consecutive
+// failed steals (capped), keeping idle workers from saturating the L2
+// banks that hold the done flag and victims' locks — the same backoff
+// production work-stealing runtimes use.
+func (c *Ctx) idleBackoff() {
+	n := costIdleBackoff << c.failStreak
+	if n > 4096 {
+		n = 4096
+	} else if c.failStreak < 9 {
+		c.failStreak++
+	}
+	// Spin in short chunks: every Compute boundary is an interrupt
+	// point, so a backing-off worker still services incoming ULI steal
+	// requests promptly (a monolithic 4K-cycle block would hold DTS
+	// requests hostage for its whole duration).
+	for n > 0 {
+		chunk := n
+		if chunk > 128 {
+			chunk = 128
+		}
+		c.env.Compute(chunk)
+		n -= chunk
+	}
+}

@@ -1,0 +1,67 @@
+package wsrt
+
+import (
+	"bigtiny/internal/cache"
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/prog"
+	"bigtiny/internal/trace"
+)
+
+// Run executes root as the program's main task on thread 0 (a big core
+// in big.TINY configurations), with every other core running the
+// worker scheduling loop, and drives the simulation to completion.
+// When root returns, the main thread raises the done flag and all
+// workers exit (paper §III-B: "the main thread terminates all other
+// threads").
+func (rt *RT) Run(root Body) error {
+	n := rt.nthreads
+	for core := 0; core < n; core++ {
+		core := core
+		rt.M.Spawn(core, func(cc *cpu.Core) {
+			env := prog.NewSimEnv(rt.M, cc)
+			c := &Ctx{rt: rt, env: env, tid: core}
+			if rt.Variant == DTS || rt.Variant == DTSNoOpt {
+				rt.M.ULI.Unit(core).SetHandler(func(thief int) uint64 {
+					return c.uliHandler(thief)
+				})
+				env.ULIEnable()
+			}
+			if core == 0 {
+				rt.runMain(c, root)
+			} else {
+				c.workerLoop()
+			}
+			if rt.Variant == DTS || rt.Variant == DTSNoOpt {
+				env.ULIDisable()
+			}
+		})
+	}
+	return rt.M.Run()
+}
+
+// runMain executes the root task directly on the main thread.
+func (rt *RT) runMain(c *Ctx, root Body) {
+	rootDesc := c.newTask(fidRuntime, root)
+	c.cur = rootDesc
+	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+	c.env.Compute(costTaskProlog)
+	root(c)
+	c.freeTask(rootDesc)
+	// Signal termination with a coherent write.
+	c.env.Amo(rt.doneAddr, cache.AmoOr, 1, 0)
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.Done, 0)
+	rt.Stats.LocalExecs++
+}
+
+// backoff state is kept per-Ctx for idle loops.
+// (Exponential backoff on failed steals keeps idle workers from
+// saturating the L2 bank that holds the done flag and the victims'
+// locks, like production work-stealing runtimes do.)
+
+// NativeRun executes root functionally (no machine, no timing):
+// fork-join constructs run depth-first on a bare memory. Used to
+// compute reference outputs for verification.
+func NativeRun(m *mem.Memory, root Body) *prog.NativeEnv {
+	return NewNative(m).RunNative(root)
+}

@@ -1,0 +1,322 @@
+package wsrt
+
+import (
+	"fmt"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/prog"
+	"bigtiny/internal/trace"
+)
+
+// Variant selects the spawn/wait engine.
+type Variant int
+
+// The three runtime implementations of paper Figure 3.
+const (
+	// HW is the baseline for hardware-based cache coherence (Fig. 3a).
+	// Running it on an HCC machine is the negative control: it computes
+	// wrong answers because it never invalidates or flushes.
+	HW Variant = iota
+	// HCC adds the cache_invalidate/cache_flush discipline required on
+	// heterogeneous cache coherence (Fig. 3b).
+	HCC
+	// DTS uses user-level interrupts for direct task stealing, making
+	// task queues private and synchronization conditional on actual
+	// steals (Fig. 3c). Requires a machine with ULI hardware.
+	DTS
+	// DTSNoOpt is an ablation of DTS without the paper's §IV-C software
+	// optimizations: task queues are still private (the hardware part),
+	// but reference counts always use AMOs and the end-of-wait
+	// invalidate is unconditional, as if the runtime could not tell
+	// whether a child was stolen. Quantifies how much of DTS's benefit
+	// comes from the has_stolen_child tracking.
+	DTSNoOpt
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case HW:
+		return "HW"
+	case HCC:
+		return "HCC"
+	case DTS:
+		return "DTS"
+	case DTSNoOpt:
+		return "DTS-noopt"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// AutoVariant picks the natural runtime for a machine: DTS if it has
+// ULI hardware, HCC if the tiny cores use a software-centric protocol,
+// HW otherwise.
+func AutoVariant(m *machine.Machine) Variant {
+	if m.Cfg.DTS {
+		return DTS
+	}
+	if m.Cfg.TinyProto != cache.MESI {
+		return HCC
+	}
+	return HW
+}
+
+// VictimPolicy selects how thieves pick steal victims.
+type VictimPolicy int
+
+// Victim-selection policies. The paper uses random selection; the
+// alternatives are classic variations kept for ablation studies.
+const (
+	// RandomVictim picks a uniformly random other thread (paper §III).
+	RandomVictim VictimPolicy = iota
+	// RoundRobinVictim cycles deterministically through the threads.
+	RoundRobinVictim
+	// StickyVictim retries the last successful victim first (steal
+	// affinity), falling back to random.
+	StickyVictim
+)
+
+// String names the policy.
+func (v VictimPolicy) String() string {
+	switch v {
+	case RandomVictim:
+		return "random"
+	case RoundRobinVictim:
+		return "round-robin"
+	case StickyVictim:
+		return "sticky"
+	}
+	return fmt.Sprintf("VictimPolicy(%d)", int(v))
+}
+
+// Runtime instruction-cost constants (abstract instructions charged on
+// top of the memory operations the engine performs).
+const (
+	costSpawn        = 12
+	costDequeOp      = 8
+	costVictimSelect = 6
+	costWaitIter     = 4
+	costHandlerBody  = 12
+	costTaskProlog   = 6
+	costIdleBackoff  = 16
+)
+
+// Runtime function ids for the instruction-cache model.
+const (
+	fidRuntime = 1 // scheduler/deque code
+	fidFirst   = 8 // first application fid
+)
+
+// RT is a work-stealing runtime instance bound to one machine (or, for
+// native verification/analysis runs, to a bare memory).
+type RT struct {
+	M       *machine.Machine
+	Variant Variant
+
+	// nativeMem backs machine-less native runtimes (NewNative).
+	nativeMem *mem.Memory
+
+	nthreads int
+	deques   []deque
+	doneAddr mem.Addr
+
+	tasks map[mem.Addr]*taskRec
+	free  [][]mem.Addr // per-thread descriptor free lists
+	funcs []FuncInfo
+	Stats RunStats
+
+	// Grain is the default parallel_for grain (task granularity, §V-D).
+	Grain int
+
+	// Tracer, when non-nil, records cycle-stamped scheduler events
+	// (spawns, steals, task execution) for offline inspection.
+	Tracer *trace.Recorder
+
+	// Victim selects the steal victim policy (default RandomVictim,
+	// the paper's choice).
+	Victim VictimPolicy
+
+	// LockFreeDeque switches the HW (hardware-coherent) runtime to
+	// Chase-Lev lock-free deques instead of per-deque spin locks (an
+	// ablation of the paper's Fig. 3a baseline; §VII cites Chase & Lev).
+	// It has no effect on the HCC/DTS variants: HCC requires the
+	// lock-delimited invalidate/flush windows, and DTS queues are
+	// private and need no synchronization at all.
+	LockFreeDeque bool
+}
+
+// New builds a runtime for m. HW and HCC run on any machine; DTS
+// requires a machine built with ULI hardware.
+func New(m *machine.Machine, v Variant) *RT {
+	if (v == DTS || v == DTSNoOpt) && m.ULI == nil {
+		panic("wsrt: DTS variants require a machine with ULI hardware")
+	}
+	n := len(m.Cores)
+	rt := &RT{
+		M: m, Variant: v, nthreads: n,
+		tasks: make(map[mem.Addr]*taskRec),
+		free:  make([][]mem.Addr, n),
+		funcs: make([]FuncInfo, fidFirst),
+		Grain: 32,
+	}
+	rt.funcs[fidRuntime] = FuncInfo{Name: "runtime", Footprint: 2048}
+	rt.doneAddr = m.Mem.AllocWords(1)
+	for t := 0; t < n; t++ {
+		rt.deques = append(rt.deques, deque{base: m.Mem.AllocWords(dequeWords)})
+	}
+	return rt
+}
+
+// NewNative builds a machine-less runtime whose programs execute
+// functionally against m (used for verification and Cilkview-style
+// analysis). Only RunNative/Analyze may be used on it.
+func NewNative(m *mem.Memory) *RT {
+	rt := &RT{
+		nativeMem: m,
+		tasks:     make(map[mem.Addr]*taskRec),
+		funcs:     make([]FuncInfo, fidFirst),
+		Grain:     32,
+	}
+	rt.funcs[fidRuntime] = FuncInfo{Name: "runtime", Footprint: 2048}
+	return rt
+}
+
+// Mem returns the memory that application setup code should allocate
+// inputs in: the machine's DRAM, or the bare native memory.
+func (rt *RT) Mem() *mem.Memory {
+	if rt.M != nil {
+		return rt.M.Mem
+	}
+	return rt.nativeMem
+}
+
+// RunNative executes root functionally (depth-first, zero simulated
+// time) against the runtime's memory and returns the environment (its
+// Insts field holds the abstract instruction count).
+func (rt *RT) RunNative(root Body) *prog.NativeEnv {
+	env := prog.NewNativeEnv(rt.Mem())
+	c := &Ctx{rt: rt, env: env, native: true}
+	root(c)
+	return env
+}
+
+// Analyze executes root natively with Cilkview-style DAG accounting
+// and returns total work, critical-path span (both in abstract
+// instructions), and the number of tasks created.
+func (rt *RT) Analyze(root Body) (work, span, tasks uint64) {
+	env := prog.NewNativeEnv(rt.Mem())
+	rec := &spanRecorder{insts: func() uint64 { return env.Insts }}
+	c := &Ctx{rt: rt, env: env, native: true, spanRec: rec}
+	root(c)
+	rec.sync()
+	return env.Insts, rec.cur, rec.tasks
+}
+
+// RegisterFunc declares an application task function (for instruction
+// cache modelling) and returns its fid.
+func (rt *RT) RegisterFunc(name string, footprintBytes int) int {
+	rt.funcs = append(rt.funcs, FuncInfo{Name: name, Footprint: footprintBytes})
+	return len(rt.funcs) - 1
+}
+
+func (rt *RT) footprint(fid int) int {
+	if fid >= 0 && fid < len(rt.funcs) && rt.funcs[fid].Footprint > 0 {
+		return rt.funcs[fid].Footprint
+	}
+	return 1024
+}
+
+// Ctx is a thread's execution context: the paper's "worker thread".
+// Task bodies receive it to spawn children, wait, and access simulated
+// memory.
+type Ctx struct {
+	rt  *RT
+	env prog.Env
+	tid int
+	cur mem.Addr // descriptor of the currently executing task
+	// failStreak counts consecutive failed steals for backoff.
+	failStreak int
+	// rrNext / lastVictim support the non-default victim policies.
+	rrNext     int
+	lastVictim int
+	// native mode executes fork-join structure depth-first with zero
+	// cost (verification and analysis).
+	native bool
+	// spanRec, when set in native mode, performs Cilkview-style
+	// work/span accounting.
+	spanRec *spanRecorder
+}
+
+// spanRecorder tracks the critical path through the fork-join DAG.
+type spanRecorder struct {
+	insts func() uint64 // live global instruction counter
+	last  uint64        // instruction count at the last sync point
+	cur   uint64        // span along the current strand
+	tasks uint64        // tasks (fork branches) created
+}
+
+// sync attributes instructions executed since the last sync to the
+// current strand.
+func (r *spanRecorder) sync() {
+	now := r.insts()
+	r.cur += now - r.last
+	r.last = now
+}
+
+// Env returns the underlying environment.
+func (c *Ctx) Env() prog.Env { return c.env }
+
+// TID returns the worker thread id.
+func (c *Ctx) TID() int { return c.tid }
+
+// RT returns the runtime.
+func (c *Ctx) RT() *RT { return c.rt }
+
+// Convenience memory forwarding.
+
+// Load reads a simulated word.
+func (c *Ctx) Load(a mem.Addr) uint64 { return c.env.Load(a) }
+
+// Store writes a simulated word.
+func (c *Ctx) Store(a mem.Addr, v uint64) { c.env.Store(a, v) }
+
+// Amo performs a simulated atomic.
+func (c *Ctx) Amo(a mem.Addr, op cache.AmoOp, a1, a2 uint64) uint64 {
+	return c.env.Amo(a, op, a1, a2)
+}
+
+// Compute burns n abstract instructions.
+func (c *Ctx) Compute(n int) { c.env.Compute(n) }
+
+// Alloc reserves simulated memory.
+func (c *Ctx) Alloc(nwords int) mem.Addr { return c.env.Alloc(nwords) }
+
+// --- task descriptor management ---
+
+// newTask allocates (or recycles) a descriptor and registers the body.
+func (c *Ctx) newTask(fid int, body Body) mem.Addr {
+	rt := c.rt
+	var d mem.Addr
+	if fl := rt.free[c.tid]; len(fl) > 0 {
+		d = fl[len(fl)-1]
+		rt.free[c.tid] = fl[:len(fl)-1]
+	} else {
+		d = c.env.Alloc(descWords)
+	}
+	rt.tasks[d] = &taskRec{body: body, fid: fid}
+	// Initialize the descriptor (plain stores: the child is not yet
+	// visible to anyone).
+	c.env.Store(d+descParent*8, uint64(c.cur))
+	c.env.Store(d+descRC*8, 0)
+	c.env.Store(d+descStolen*8, 0)
+	c.env.Store(d+descFID*8, uint64(fid))
+	return d
+}
+
+// freeTask recycles a completed task's descriptor.
+func (c *Ctx) freeTask(d mem.Addr) {
+	delete(c.rt.tasks, d)
+	c.rt.free[c.tid] = append(c.rt.free[c.tid], d)
+}
