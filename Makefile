@@ -1,0 +1,30 @@
+# Standard gates for this repo. `make ci` is what a change must pass.
+
+GO ?= go
+
+.PHONY: all ci vet build test race chaos-smoke
+
+all: ci
+
+ci: vet build test race chaos-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator itself is single-goroutine-at-a-time by construction;
+# the race detector earns its keep on the packages with real
+# concurrency (the native wsrt executor) and on pure-Go helpers.
+race:
+	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt
+
+# A fast end-to-end chaos pass: two apps under every stock scenario on
+# the 8-core chaos machine, output verified against the serial
+# reference (see EXPERIMENTS.md "Fault injection & chaos runs").
+chaos-smoke:
+	$(GO) run ./cmd/paperbench -apps cilk5-cs,ligra-bfs chaos

@@ -4,8 +4,10 @@
 // Usage:
 //
 //	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N]
+//	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults chaos-all [-fault-seed N]
 //	btsim -list-configs
 //	btsim -list-apps
+//	btsim -list-faults
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"bigtiny/internal/apps"
 	"bigtiny/internal/bench"
 	"bigtiny/internal/energy"
+	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
 	"bigtiny/internal/stats"
 	"bigtiny/internal/trace"
@@ -28,9 +31,18 @@ func main() {
 	grain := flag.Int("grain", 0, "task granularity override (0 = app default)")
 	listConfigs := flag.Bool("list-configs", false, "list machine configurations")
 	listApps := flag.Bool("list-apps", false, "list application kernels")
+	listFaults := flag.Bool("list-faults", false, "list fault-injection scenarios")
+	faults := flag.String("faults", "", "fault-injection scenario (see -list-faults)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
 	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
 	flag.Parse()
 
+	if *listFaults {
+		for _, sc := range fault.Scenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
 	if *listConfigs {
 		for _, n := range machine.Names() {
 			cfg, _ := machine.Lookup(n)
@@ -62,6 +74,8 @@ func main() {
 
 	s := bench.NewSuite(sz)
 	s.Grain = *grain
+	s.FaultScenario = *faults
+	s.FaultSeed = *faultSeed
 	if *traceFile != "" {
 		s.Tracer = &trace.Recorder{Limit: 2_000_000}
 	}
@@ -106,6 +120,10 @@ func main() {
 	if r.ULI != nil {
 		fmt.Printf("ULI        : %d reqs, %d acks, %d nacks, avg latency %.1f cycles, max util %.2f%%\n",
 			r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks, r.ULIAvgLatency, 100*r.ULIMeshMaxUtil)
+	}
+	if *faults != "" {
+		fmt.Printf("faults     : scenario %s, seed %d: %s (%d total)\n",
+			*faults, *faultSeed, r.FaultSummary, r.FaultTotal)
 	}
 	fmt.Printf("runtime    : %v\n", r.RT)
 	fmt.Printf("energy     : %.1f uJ (proxy)\n", energy.DefaultModel().Estimate(r))

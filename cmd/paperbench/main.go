@@ -4,9 +4,13 @@
 //
 //	paperbench [-size test|ref|big] [-apps a,b,c] [-v] [targets...]
 //
-// Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy all
-// (default: all except table5, which simulates a 256-core system and is
-// the most expensive target).
+// Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
+// chaos all (default: all except table5, which simulates a 256-core
+// system and is the most expensive target, and chaos, which is a
+// robustness sweep rather than a paper artifact). The chaos target runs
+// every selected app under each fault-injection scenario on a small
+// DTS machine and checks the outputs still match the serial reference;
+// it always uses test-size inputs regardless of -size.
 package main
 
 import (
@@ -95,6 +99,8 @@ func main() {
 			err = s.ULIReport(out, names)
 		case "energy":
 			err = s.EnergyReport(out, names)
+		case "chaos":
+			err = bench.Chaos(out, names, nil, 1)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}

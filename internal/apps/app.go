@@ -22,11 +22,15 @@ type Size int
 
 // Input scales: Test for unit tests, Ref for the 64-core evaluation
 // (Table III/Figures 5-8, scaled to simulator speed), Big for the
-// 256-core weak-scaling study (Table V).
+// 256-core weak-scaling study (Table V). Empty and Unit are degenerate
+// inputs (zero-size arrays / edgeless graphs, and the smallest
+// nontrivial input) used by robustness tests only.
 const (
 	Test Size = iota
 	Ref
 	Big
+	Empty
+	Unit
 )
 
 // String names the size.
@@ -38,6 +42,10 @@ func (s Size) String() string {
 		return "ref"
 	case Big:
 		return "big"
+	case Empty:
+		return "empty"
+	case Unit:
+		return "unit"
 	}
 	return fmt.Sprintf("Size(%d)", int(s))
 }

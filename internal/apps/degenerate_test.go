@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"testing"
+
+	"bigtiny/internal/cache"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/wsrt"
+)
+
+// Degenerate-input robustness: every app must set up, run, and verify
+// at the Empty (zero-size array / edgeless graph) and Unit (single
+// element / two-vertex path) sizes without hanging or tripping the
+// watchdog. These inputs exercise the recursion base cases with no
+// work at all and with exactly one element of work.
+
+func runAppSize(t *testing.T, a *App, m *machine.Machine, v wsrt.Variant, size Size, serial bool) {
+	t.Helper()
+	rt := wsrt.New(m, v)
+	inst := a.Setup(rt, size, 0)
+	root := inst.Root
+	if serial {
+		root = inst.SerialRoot
+	}
+	if err := rt.Run(root); err != nil {
+		t.Fatalf("%s/%s: %v (stats %v)", a.Name, size, err, rt.Stats)
+	}
+	read := func(a mem.Addr) uint64 { return m.Cache.DebugReadWord(a) }
+	if err := inst.Verify(read); err != nil {
+		t.Fatalf("%s/%s: %v", a.Name, size, err)
+	}
+}
+
+func TestDegenerateInputsParallel(t *testing.T) {
+	for _, size := range []Size{Empty, Unit} {
+		for _, a := range All() {
+			a, size := a, size
+			t.Run(size.String()+"/"+a.Name, func(t *testing.T) {
+				runAppSize(t, a, testMachine(t, cache.GPUWB, true), wsrt.DTS, size, false)
+			})
+		}
+	}
+}
+
+func TestDegenerateInputsSerial(t *testing.T) {
+	for _, size := range []Size{Empty, Unit} {
+		for _, a := range All() {
+			a, size := a, size
+			t.Run(size.String()+"/"+a.Name, func(t *testing.T) {
+				runAppSize(t, a, testMachine(t, cache.MESI, false), wsrt.HW, size, true)
+			})
+		}
+	}
+}

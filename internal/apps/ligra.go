@@ -55,9 +55,19 @@ type gctx struct {
 func newGctx(rt *wsrt.RT, size Size) *gctx { return newGctxHeavy(rt, size, false) }
 
 // newGctxHeavy builds the graph context with the heavy-kernel scale.
+// The degenerate sizes bypass R-MAT: Empty is a single isolated vertex
+// (R-MAT cannot generate an edgeless graph), Unit the two-vertex path.
 func newGctxHeavy(rt *wsrt.RT, size Size, heavy bool) *gctx {
-	scale, ef := ligraScale(size, heavy)
-	g := graph.RMat(scale, ef, 0x9A3F)
+	var g *graph.Graph
+	switch size {
+	case Empty:
+		g = graph.Empty(1)
+	case Unit:
+		g = graph.Path(2)
+	default:
+		scale, ef := ligraScale(size, heavy)
+		g = graph.RMat(scale, ef, 0x9A3F)
+	}
 	m := rt.Mem()
 	return &gctx{
 		g:       g,

@@ -21,7 +21,7 @@ func init() {
 }
 
 func setupMT(rt *wsrt.RT, size Size, grain int) *Instance {
-	n := map[Size]int{Test: 64, Ref: 256, Big: 512}[size]
+	n := map[Size]int{Test: 64, Ref: 256, Big: 512, Empty: 0, Unit: 1}[size]
 	blk := grainOr(grain, 16)
 	m := rt.Mem()
 	A := m.AllocWords(n * n)

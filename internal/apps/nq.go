@@ -53,7 +53,7 @@ func nqCount(n int) uint64 {
 }
 
 func setupNQ(rt *wsrt.RT, size Size, grain int) *Instance {
-	n := map[Size]int{Test: 7, Ref: 9, Big: 10}[size]
+	n := map[Size]int{Test: 7, Ref: 9, Big: 10, Empty: 0, Unit: 1}[size]
 	grain = grainOr(grain, 1)
 	m := rt.Mem()
 	countAddr := m.AllocWords(1)
@@ -114,12 +114,29 @@ func setupNQ(rt *wsrt.RT, size Size, grain int) *Instance {
 		}
 	}
 
+	// The two-row decomposition assumes n >= 2 (it enumerates (col0,
+	// col1) pairs); degenerate boards backtrack directly from row 0.
+	runDirect := func(c *wsrt.Ctx) {
+		board := c.Alloc(n + 1)
+		if cnt := solve(c, board, 0); cnt > 0 {
+			c.Amo(countAddr, cache.AmoAdd, cnt, 0)
+		}
+	}
+
 	return &Instance{
 		InputDesc: fmt.Sprintf("%d-queens", n),
 		Root: func(c *wsrt.Ctx) {
+			if n < 2 {
+				runDirect(c)
+				return
+			}
 			c.ParallelFor(fid, 0, n*n, grain, body)
 		},
 		SerialRoot: func(c *wsrt.Ctx) {
+			if n < 2 {
+				runDirect(c)
+				return
+			}
 			for i := 0; i < n*n; i++ {
 				body(c, i)
 			}

@@ -12,6 +12,7 @@ import (
 	"bigtiny/internal/apps"
 	"bigtiny/internal/cilkview"
 	"bigtiny/internal/energy"
+	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/stats"
@@ -33,6 +34,10 @@ type Suite struct {
 	// Tracer, if non-nil, records scheduler events for each run
 	// (intended for single-run use via cmd/btsim -trace).
 	Tracer *trace.Recorder
+	// FaultScenario, when non-empty, names a fault-injection scenario
+	// (fault.Lookup) applied to every run, seeded with FaultSeed.
+	FaultScenario string
+	FaultSeed     uint64
 
 	results map[string]*stats.Run
 	views   map[string]cilkview.Report
@@ -63,12 +68,23 @@ var (
 // paper's "Serial IO" baseline.
 func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 	key := cfgName + "|" + appName
+	if s.FaultScenario != "" {
+		key = fmt.Sprintf("%s|%s|%d", key, s.FaultScenario, s.FaultSeed)
+	}
 	if r, ok := s.results[key]; ok {
 		return r, nil
 	}
 	cfg, err := machine.Lookup(cfgName)
 	if err != nil {
 		return nil, err
+	}
+	if s.FaultScenario != "" {
+		sc, err := fault.Lookup(s.FaultScenario)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = &sc
+		cfg.FaultSeed = s.FaultSeed
 	}
 	app, err := apps.ByName(appName)
 	if err != nil {

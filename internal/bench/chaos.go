@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/fault"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+	"bigtiny/internal/wsrt"
+)
+
+// ChaosConfig is the machine every chaos run uses: a small DTS system
+// so each (app, scenario) pair exercises the full protocol stack (ULI,
+// GPU-WB invalidate/flush discipline, NoC, DRAM) at test-input cost.
+const ChaosConfig = "bT8/HCC-DTS-gwb"
+
+// ChaosResult reports one chaos-invariance run.
+type ChaosResult struct {
+	App      string
+	Scenario string
+	Seed     uint64
+	Cycles   sim.Time
+	// Faults is the number of injected fault events; Summary breaks it
+	// down per site.
+	Faults  uint64
+	Summary string
+}
+
+// RunChaos runs one app under a named fault scenario on ChaosConfig and
+// checks the chaos invariants: the run finishes within its deadline,
+// the output equals the serial reference, and (for non-empty scenarios)
+// at least one fault was actually injected. Determinism is the caller's
+// check: the same (app, scenario, seed) always yields the same Cycles.
+func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := fault.Lookup(scenarioName)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := machine.Lookup(ChaosConfig)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Faults = &sc
+	cfg.FaultSeed = seed
+
+	m := machine.New(cfg)
+	rt := wsrt.New(m, wsrt.AutoVariant(m))
+	rt.Grain = app.DefaultGrain
+	inst := app.Setup(rt, apps.Test, 0)
+	if err := rt.Run(inst.Root); err != nil {
+		return nil, fmt.Errorf("chaos: %s under %s (seed %d): %w",
+			appName, scenarioName, seed, err)
+	}
+	read := func(a mem.Addr) uint64 { return m.Cache.DebugReadWord(a) }
+	if err := inst.Verify(read); err != nil {
+		return nil, fmt.Errorf("chaos: %s under %s (seed %d): output diverged from serial reference: %w",
+			appName, scenarioName, seed, err)
+	}
+	res := &ChaosResult{
+		App:      appName,
+		Scenario: scenarioName,
+		Seed:     seed,
+		Cycles:   m.Kernel.Now(),
+		Faults:   m.Faults.Total(),
+		Summary:  m.Faults.Summary(),
+	}
+	if !sc.Zero() && res.Faults == 0 {
+		return nil, fmt.Errorf("chaos: %s under %s (seed %d): scenario injected no faults",
+			appName, scenarioName, seed)
+	}
+	return res, nil
+}
+
+// ChaosScenarios is the default scenario set for chaos sweeps.
+var ChaosScenarios = []string{"noc-jitter", "uli-nack-storm", "dram-spike", "chaos-all"}
+
+// Chaos runs every app under every named scenario (ChaosScenarios when
+// scenarios is nil) and writes a per-run table: cycles, fault count,
+// and the cycle inflation versus the fault-free run of the same app.
+func Chaos(w io.Writer, appNames, scenarios []string, seed uint64) error {
+	if scenarios == nil {
+		scenarios = ChaosScenarios
+	}
+	fmt.Fprintf(w, "Chaos invariance (config %s, size test, seed %d)\n", ChaosConfig, seed)
+	fmt.Fprintf(w, "%-14s %-16s %12s %8s %9s\n", "app", "scenario", "cycles", "faults", "slowdown")
+	for _, appName := range appNames {
+		base, err := RunChaos(appName, "none", seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-16s %12d %8d %9s\n",
+			appName, "none", base.Cycles, base.Faults, "1.00x")
+		for _, scName := range scenarios {
+			r, err := RunChaos(appName, scName, seed)
+			if err != nil {
+				return err
+			}
+			slow := float64(r.Cycles) / float64(base.Cycles)
+			fmt.Fprintf(w, "%-14s %-16s %12d %8d %8.2fx\n",
+				appName, scName, r.Cycles, r.Faults, slow)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/machine"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
+	"bigtiny/internal/wsrt"
+)
+
+// TestChaosInvariance is the chaos harness's core claim: every app,
+// under every fault scenario, still computes the serial-reference
+// answer and finishes within its deadline, and the scenario actually
+// fired. RunChaos checks all three internally.
+func TestChaosInvariance(t *testing.T) {
+	scenarios := []string{"noc-jitter", "uli-nack-storm", "dram-spike"}
+	for _, appName := range AppNames() {
+		for _, scName := range scenarios {
+			t.Run(appName+"/"+scName, func(t *testing.T) {
+				if _, err := RunChaos(appName, scName, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosAllScenario runs the everything-at-once scenario on a
+// representative subset (one app per family).
+func TestChaosAllScenario(t *testing.T) {
+	for _, appName := range []string{"cilk5-cs", "ligra-bfs", "cilk5-nq"} {
+		r, err := RunChaos(appName, "chaos-all", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Faults == 0 {
+			t.Fatalf("%s: chaos-all injected nothing", appName)
+		}
+	}
+}
+
+// TestChaosSeedReproducible: the same (app, scenario, seed) must give
+// bit-identical cycle counts, and a different seed must perturb them.
+func TestChaosSeedReproducible(t *testing.T) {
+	a, err := RunChaos("cilk5-cs", "chaos-all", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos("cilk5-cs", "chaos-all", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Faults != b.Faults {
+		t.Fatalf("same seed diverged: %d/%d cycles, %d/%d faults",
+			a.Cycles, b.Cycles, a.Faults, b.Faults)
+	}
+	c, err := RunChaos("cilk5-cs", "chaos-all", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == c.Cycles && a.Summary == c.Summary {
+		t.Fatalf("seeds 7 and 8 produced identical runs (%d cycles, %q)",
+			a.Cycles, a.Summary)
+	}
+}
+
+// runBare runs an app on ChaosConfig with no fault injector at all and
+// returns the final cycle count.
+func runBare(t *testing.T, appName string) sim.Time {
+	t.Helper()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := machine.Lookup(ChaosConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(cfg)
+	rt := wsrt.New(m, wsrt.AutoVariant(m))
+	rt.Grain = app.DefaultGrain
+	inst := app.Setup(rt, apps.Test, 0)
+	if err := rt.Run(inst.Root); err != nil {
+		t.Fatal(err)
+	}
+	read := func(a mem.Addr) uint64 { return m.Cache.DebugReadWord(a) }
+	if err := inst.Verify(read); err != nil {
+		t.Fatal(err)
+	}
+	return m.Kernel.Now()
+}
+
+// TestNoneScenarioMatchesBaseline: an injector armed with the "none"
+// scenario must be cycle-identical to running with no injector at all —
+// the fault hooks are free when disabled.
+func TestNoneScenarioMatchesBaseline(t *testing.T) {
+	for _, appName := range []string{"cilk5-cs", "ligra-bfs"} {
+		bare := runBare(t, appName)
+		none, err := RunChaos(appName, "none", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if none.Cycles != bare {
+			t.Fatalf("%s: none-scenario %d cycles vs bare %d cycles",
+				appName, none.Cycles, bare)
+		}
+		if none.Faults != 0 {
+			t.Fatalf("%s: none scenario injected %d faults", appName, none.Faults)
+		}
+	}
+}
+
+// TestSuiteFaultScenario: the Suite plumbs fault scenarios through to
+// the machine and keys its cache on them.
+func TestSuiteFaultScenario(t *testing.T) {
+	s := NewSuite(apps.Test)
+	base, err := s.Run(ChaosConfig, "cilk5-cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FaultTotal != 0 {
+		t.Fatalf("fault-free suite run reported %d faults", base.FaultTotal)
+	}
+	s.FaultScenario = "uli-nack-storm"
+	s.FaultSeed = 1
+	stormy, err := s.Run(ChaosConfig, "cilk5-cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy == base {
+		t.Fatal("suite cache ignored the fault scenario")
+	}
+	if stormy.FaultTotal == 0 || !strings.Contains(stormy.FaultSummary, "uli-nack") {
+		t.Fatalf("storm run faults: %d (%q)", stormy.FaultTotal, stormy.FaultSummary)
+	}
+	if _, err := s.Run(ChaosConfig, "cilk5-cs"); err != nil {
+		t.Fatal(err)
+	}
+	s.FaultScenario = "nonesuch"
+	if _, err := s.Run(ChaosConfig, "ligra-bc"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"bigtiny/internal/fault"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/noc"
 	"bigtiny/internal/sim"
@@ -48,6 +49,11 @@ type L1 struct {
 	tick    uint64
 
 	hitLat sim.Time
+
+	// Faults, when non-nil, applies artificial capacity pressure by
+	// periodically force-evicting the LRU line of the accessed set
+	// (see internal/fault).
+	Faults *fault.Injector
 
 	Stats L1Stats
 }
@@ -152,10 +158,36 @@ func (l *L1) touch(ln *l1Line) {
 	ln.lastUse = l.tick
 }
 
+// pressureFault models artificial L1 capacity pressure: every Nth
+// access (per the fault scenario) force-evicts the LRU valid line of
+// the accessed set, through the normal evict path so all protocol
+// writebacks and directory notices happen.
+func (l *L1) pressureFault(now sim.Time, a mem.Addr) {
+	if !l.Faults.CacheEvictTick() {
+		return
+	}
+	set := l.setFor(a)
+	var victim *l1Line
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			continue
+		}
+		if victim == nil || ln.lastUse < victim.lastUse {
+			victim = ln
+		}
+	}
+	if victim != nil {
+		l.evict(now, victim)
+		l.Faults.Fired(fault.CacheEvict)
+	}
+}
+
 // Load reads the word at a, returning its value and the completion
 // time.
 func (l *L1) Load(now sim.Time, a mem.Addr) (uint64, sim.Time) {
 	l.Stats.Loads++
+	l.pressureFault(now, a)
 	switch l.proto {
 	case MESI:
 		return l.loadMESI(now, a)
@@ -170,6 +202,7 @@ func (l *L1) Load(now sim.Time, a mem.Addr) (uint64, sim.Time) {
 // Store writes v to the word at a, returning the completion time.
 func (l *L1) Store(now sim.Time, a mem.Addr, v uint64) sim.Time {
 	l.Stats.Stores++
+	l.pressureFault(now, a)
 	switch l.proto {
 	case MESI:
 		return l.storeMESI(now, a, v)
@@ -189,6 +222,7 @@ func (l *L1) Store(now sim.Time, a mem.Addr, v uint64) sim.Time {
 // shared L2 (paper §II-A, §III-E).
 func (l *L1) Amo(now sim.Time, a mem.Addr, op AmoOp, arg1, arg2 uint64) (uint64, sim.Time) {
 	l.Stats.Amos++
+	l.pressureFault(now, a)
 	switch l.proto {
 	case MESI:
 		return l.amoMESI(now, a, op, arg1, arg2)

@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"bigtiny/internal/cache"
+	"bigtiny/internal/fault"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/sim"
 	"bigtiny/internal/uli"
@@ -79,6 +80,13 @@ type Core struct {
 	L1D *cache.L1
 	ULI *uli.Unit // nil when the config has no ULI hardware
 
+	// Faults, when non-nil, can turn this core into a straggler by
+	// multiplying its compute time (see internal/fault). FaultLane is
+	// the core's index among straggler candidates (the tiny cores);
+	// -1 exempts the core.
+	Faults    *fault.Injector
+	FaultLane int
+
 	proc *sim.Proc
 
 	Cycles [NumClasses]uint64
@@ -116,7 +124,7 @@ func New(id int, cfg Config, l1d *cache.L1, u *uli.Unit) *Core {
 	if nblocks < 1 {
 		nblocks = 1
 	}
-	c := &Core{ID: id, Cfg: cfg, L1D: l1d, ULI: u, iTags: make([]uint64, nblocks)}
+	c := &Core{ID: id, Cfg: cfg, L1D: l1d, ULI: u, FaultLane: -1, iTags: make([]uint64, nblocks)}
 	for i := range c.iTags {
 		c.iTags[i] = ^uint64(0)
 	}
@@ -192,6 +200,10 @@ func (c *Core) Compute(n int) {
 	total := n + c.fracIssue
 	cycles := total / c.Cfg.IssueWidth
 	c.fracIssue = total % c.Cfg.IssueWidth
+	// A straggler core issues the same instructions more slowly.
+	if extra := c.Faults.CPUStall(c.FaultLane, cycles); extra > 0 {
+		cycles += extra
+	}
 	// Instruction fetch: walk the PC through the function's code
 	// region, checking the I-cache at every block boundary.
 	fetchStall := sim.Time(0)

@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"bigtiny/internal/fault"
 	"bigtiny/internal/sim"
 )
 
@@ -18,6 +19,10 @@ type Controller struct {
 	Lat sim.Time
 	// LineCycles is the bandwidth occupancy of one 64-byte line transfer.
 	LineCycles sim.Time
+
+	// Faults, when non-nil, injects latency spikes and bandwidth
+	// throttling (see internal/fault).
+	Faults *fault.Injector
 
 	Reads  uint64
 	Writes uint64
@@ -62,8 +67,9 @@ func (c *Controller) Access(now sim.Time, write bool) sim.Time {
 	} else {
 		c.Reads++
 	}
-	done := c.res.Acquire(now, c.LineCycles)
-	return done + c.Lat
+	occupancy, extra := c.Faults.DRAMAccess(now, c.LineCycles)
+	done := c.res.Acquire(now, occupancy)
+	return done + c.Lat + extra
 }
 
 // Utilization reports the bandwidth utilization over elapsed cycles.

@@ -114,6 +114,50 @@ func RMat(scale int, edgeFactor int, seed uint64) *Graph {
 	return g
 }
 
+// Empty returns a graph of n isolated vertices (no edges). Used by the
+// degenerate-input robustness tests; RMat cannot generate it (its edge
+// loop never terminates when every candidate is a self loop).
+func Empty(n int) *Graph {
+	return &Graph{N: n, Offsets: make([]int32, n+1)}
+}
+
+// Path returns the n-vertex path graph 0-1-...-(n-1), symmetrized,
+// with the same deterministic weight rule as RMat. The two-vertex path
+// is the smallest graph with an edge.
+func Path(n int) *Graph {
+	g := &Graph{N: n, Offsets: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		deg := int32(2)
+		if v == 0 || v == n-1 {
+			deg = 1
+		}
+		if n == 1 {
+			deg = 0
+		}
+		g.Offsets[v+1] = g.Offsets[v] + deg
+	}
+	g.Edges = make([]int32, g.Offsets[n])
+	g.Weights = make([]uint32, g.Offsets[n])
+	fill := make([]int32, n)
+	addEdge := func(u, v int) {
+		i := g.Offsets[u] + fill[u]
+		fill[u]++
+		g.Edges[i] = int32(v)
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		h := uint64(lo)*2654435761 ^ uint64(hi)*40503
+		h ^= h >> 13
+		g.Weights[i] = uint32(h%64) + 1
+	}
+	for v := 0; v+1 < n; v++ {
+		addEdge(v, v+1)
+		addEdge(v+1, v)
+	}
+	return g
+}
+
 // Mem is a graph loaded into simulated memory: the kernels traverse it
 // through the simulated cache hierarchy.
 type Mem struct {

@@ -94,6 +94,19 @@ func Configs() map[string]Config {
 		add(d)
 	}
 
+	// Small 8-core DTS system for fast chaos/invariance runs: every
+	// fault scenario exercises the full protocol stack without the
+	// 64-core simulation cost.
+	bt8 := base64Core()
+	bt8.NumBig, bt8.NumTiny = 1, 7
+	bt8.Rows, bt8.Cols = 2, 4
+	bt8.NumBanks = 4
+	bt8.TinyProto = cache.GPUWB
+	bt8.DTS = true
+	bt8.Deadline = 600_000_000
+	bt8.Name = "bT8/HCC-DTS-gwb"
+	add(bt8)
+
 	bt256 := base256Core()
 	bt256.Name = "bT256/MESI"
 	add(bt256)

@@ -12,6 +12,7 @@ import (
 	"bigtiny/internal/cache"
 	"bigtiny/internal/cpu"
 	"bigtiny/internal/dram"
+	"bigtiny/internal/fault"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/noc"
 	"bigtiny/internal/sim"
@@ -42,6 +43,11 @@ type Config struct {
 	DRAMBytesPerCycle float64
 	// Deadline aborts runaway simulations (cycles); 0 = none.
 	Deadline sim.Time
+	// Faults, when non-nil, selects a fault-injection scenario; New
+	// builds a fresh Injector seeded with FaultSeed for each machine,
+	// so one Config can build many machines without shared state.
+	Faults    *fault.Scenario
+	FaultSeed uint64
 }
 
 // NumCores returns the total core count.
@@ -57,6 +63,8 @@ type Machine struct {
 	Cores  []*cpu.Core
 	ULI    *uli.Fabric // nil unless Cfg.DTS
 	MCs    []*dram.Controller
+	// Faults is this machine's fault injector (nil unless Cfg.Faults).
+	Faults *fault.Injector
 }
 
 // New builds a machine from cfg.
@@ -72,8 +80,13 @@ func New(cfg Config) *Machine {
 	if cfg.Deadline > 0 {
 		k.SetDeadline(cfg.Deadline)
 	}
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj = fault.NewInjector(*cfg.Faults, cfg.FaultSeed)
+	}
 	// Core mesh plus one extra row for L2 banks / memory controllers.
 	mesh := noc.NewMesh(cfg.Rows+1, cfg.Cols)
+	mesh.Faults = inj
 	backing := mem.New()
 
 	coreNodes := placeCores(mesh, cfg)
@@ -88,7 +101,9 @@ func New(cfg Config) *Machine {
 	for b := 0; b < cfg.NumBanks; b++ {
 		col := b * cfg.Cols / cfg.NumBanks
 		bankNodes = append(bankNodes, mesh.Node(cfg.Rows, col))
-		mcs = append(mcs, dram.NewController(fmt.Sprintf("mc%d", b), perMC))
+		mc := dram.NewController(fmt.Sprintf("mc%d", b), perMC)
+		mc.Faults = inj
+		mcs = append(mcs, mc)
 	}
 
 	cs := cache.NewSystem(cache.Config{
@@ -104,11 +119,13 @@ func New(cfg Config) *Machine {
 	if cfg.DTS {
 		fabric = uli.NewFabric(k, cfg.Rows+1, cfg.Cols, cfg.NumCores(),
 			func(core int) noc.NodeID { return coreNodes[core] })
+		fabric.Faults = inj
+		k.AddDumpHook(fabric.DumpState)
 	}
 
 	m := &Machine{
 		Cfg: cfg, Kernel: k, Mesh: mesh, Mem: backing, Cache: cs,
-		ULI: fabric, MCs: mcs,
+		ULI: fabric, MCs: mcs, Faults: inj,
 	}
 	for c := 0; c < cfg.NumCores(); c++ {
 		big := c < cfg.NumBig
@@ -121,11 +138,19 @@ func New(cfg Config) *Machine {
 			coreCfg = cpu.TinyConfig()
 			l1 = cache.NewL1(cs, c, cfg.TinyProto, cfg.L1TinyBytes, 2)
 		}
+		l1.Faults = inj
 		var unit *uli.Unit
 		if fabric != nil {
 			unit = fabric.Unit(c)
 		}
-		m.Cores = append(m.Cores, cpu.New(c, coreCfg, l1, unit))
+		core := cpu.New(c, coreCfg, l1, unit)
+		core.Faults = inj
+		if !big {
+			// Straggler selection indexes tiny cores only; big cores are
+			// exempt (FaultLane stays -1 from cpu.New).
+			core.FaultLane = c - cfg.NumBig
+		}
+		m.Cores = append(m.Cores, core)
 	}
 	return m
 }

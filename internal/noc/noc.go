@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 
+	"bigtiny/internal/fault"
 	"bigtiny/internal/sim"
 )
 
@@ -76,6 +77,10 @@ type Mesh struct {
 	// ChannelLat + RouterLat is the per-hop head latency.
 	ChannelLat sim.Time
 	RouterLat  sim.Time
+
+	// Faults, when non-nil, injects latency jitter and congestion
+	// bursts into every message (see internal/fault).
+	Faults *fault.Injector
 
 	links   []*sim.Resource // directed links, indexed by linkIndex
 	Traffic Traffic
@@ -148,6 +153,9 @@ func (m *Mesh) Flits(bytes int) int {
 // waits when a link is congested; each traversed link is occupied for
 // one cycle per flit (wormhole-style pipelining).
 func (m *Mesh) Send(now sim.Time, from, to NodeID, bytes int, cat Category) sim.Time {
+	// Injected faults delay the message's injection into the network
+	// (jitter / congestion-burst model).
+	now += m.Faults.NoCDelay(now)
 	m.Traffic.Bytes[cat] += uint64(bytes)
 	m.Traffic.Messages[cat]++
 	m.Sends++

@@ -10,7 +10,10 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"io"
+	"strings"
 )
 
 // Time is simulation time measured in clock cycles.
@@ -60,6 +63,11 @@ type Kernel struct {
 	// err records a crash in simulated software (a proc panic); Run
 	// stops and returns it, modelling a machine crash.
 	err error
+
+	// dumpHooks are extra diagnostic writers (registered by higher
+	// layers: ULI fabric state, runtime deque occupancy, ...) appended
+	// to DumpState output and watchdog errors.
+	dumpHooks []func(io.Writer)
 }
 
 // NewKernel returns an empty kernel positioned at cycle 0.
@@ -108,7 +116,8 @@ func (k *Kernel) Run(stop func() bool) error {
 		}
 		e := heap.Pop(&k.queue).(*event)
 		if e.at > k.maxTime {
-			return fmt.Errorf("sim: deadline %d cycles exceeded (now %d)", k.maxTime, e.at)
+			return k.watchdogErr(fmt.Sprintf(
+				"deadline %d cycles exceeded (next event at %d)", k.maxTime, e.at))
 		}
 		k.now = e.at
 		e.fn()
@@ -118,8 +127,52 @@ func (k *Kernel) Run(stop func() bool) error {
 	}
 	for _, p := range k.procs {
 		if !p.finished {
-			return fmt.Errorf("sim: deadlock: proc %q blocked at cycle %d with empty event queue", p.name, k.now)
+			return k.watchdogErr("deadlock: event queue empty with unfinished procs")
 		}
 	}
 	return nil
+}
+
+// AddDumpHook registers a diagnostic writer invoked by DumpState after
+// the kernel's own report. Higher layers use it to append subsystem
+// state (ULI units, work-stealing deques) to watchdog errors.
+func (k *Kernel) AddDumpHook(fn func(io.Writer)) {
+	k.dumpHooks = append(k.dumpHooks, fn)
+}
+
+// DumpState writes a diagnostic snapshot: current cycle, event-queue
+// size, per-proc progress (every unfinished proc with the cycle it last
+// yielded at), then any registered dump hooks.
+func (k *Kernel) DumpState(w io.Writer) {
+	finished := 0
+	for _, p := range k.procs {
+		if p.finished {
+			finished++
+		}
+	}
+	fmt.Fprintf(w, "kernel: cycle=%d queued-events=%d procs=%d/%d finished\n",
+		k.now, k.queue.Len(), finished, len(k.procs))
+	for _, p := range k.procs {
+		if p.finished {
+			continue
+		}
+		state := "blocked"
+		if !p.started {
+			state = "never started"
+		}
+		fmt.Fprintf(w, "  proc %q: %s since cycle %d\n", p.name, state, p.blockedSince)
+	}
+	for _, fn := range k.dumpHooks {
+		fn(w)
+	}
+}
+
+// watchdogErr builds the watchdog failure error: the cause followed by
+// the full DumpState report, so a deadline or deadlock names the stuck
+// procs and whatever subsystem state the machine layer registered.
+func (k *Kernel) watchdogErr(cause string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %s\n", cause)
+	k.DumpState(&b)
+	return errors.New(strings.TrimRight(b.String(), "\n"))
 }

@@ -15,6 +15,9 @@ type Proc struct {
 	finished bool
 	started  bool
 	body     func(*Proc)
+	// blockedSince is the cycle at which the proc last yielded to the
+	// kernel; DumpState reports it for unfinished procs.
+	blockedSince Time
 }
 
 // NewProc registers a simulated thread that begins executing body at
@@ -55,6 +58,7 @@ func (p *Proc) resume() {
 	}
 	p.cont <- struct{}{}
 	<-p.back
+	p.blockedSince = p.k.now
 }
 
 // Kernel returns the kernel this proc runs on.

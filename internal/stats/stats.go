@@ -52,6 +52,11 @@ type Run struct {
 	ULIAvgLatency  float64
 
 	RT wsrt.RunStats
+
+	// FaultTotal / FaultSummary report injected faults (zero/empty when
+	// the machine had no fault injector).
+	FaultTotal   uint64
+	FaultSummary string
 }
 
 // Collect snapshots all counters from a finished machine/runtime pair.
@@ -93,6 +98,10 @@ func Collect(m *machine.Machine, rt *wsrt.RT, app string) *Run {
 		maxU, _ := m.ULI.Mesh().LinkUtilization(r.Cycles)
 		r.ULIMeshMaxUtil = maxU
 		r.ULIAvgLatency = s.AvgLatency()
+	}
+	if m.Faults != nil {
+		r.FaultTotal = m.Faults.Total()
+		r.FaultSummary = m.Faults.Summary()
 	}
 	return r
 }

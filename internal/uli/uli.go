@@ -11,6 +11,10 @@
 package uli
 
 import (
+	"fmt"
+	"io"
+
+	"bigtiny/internal/fault"
 	"bigtiny/internal/noc"
 	"bigtiny/internal/sim"
 )
@@ -48,6 +52,10 @@ type Fabric struct {
 	mesh   *noc.Mesh
 	units  []*Unit
 	Stats  Stats
+
+	// Faults, when non-nil, injects forced NACKs and delivery delays
+	// (see internal/fault).
+	Faults *fault.Injector
 }
 
 // NewFabric builds the ULI network for numCores cores whose positions
@@ -137,6 +145,7 @@ func (u *Unit) SendReq(proc *sim.Proc, victim int) (payload uint64, ok bool) {
 	v := f.units[victim]
 	sentAt := proc.Now()
 	arrive := f.mesh.Send(sentAt, u.node, v.node, msgBytes, noc.SyncReq)
+	arrive += f.Faults.ULIDelay(arrive)
 	u.waiting = true
 	f.kernel.At(arrive, func() { v.receive(u.core, arrive, sentAt) })
 	proc.Block() // resumed by the response (or NACK) arrival event
@@ -148,6 +157,13 @@ func (u *Unit) SendReq(proc *sim.Proc, victim int) (payload uint64, ok bool) {
 // receive runs in the kernel at request-arrival time on the victim
 // unit.
 func (u *Unit) receive(thief int, now, sentAt sim.Time) {
+	// An injected NACK storm refuses the request before the unit even
+	// looks at its own state, modelling a victim whose buffer is held
+	// busy by adversarial timing.
+	if u.fabric.Faults.ULIForceNack(now) {
+		u.fabric.nack(now, u, thief)
+		return
+	}
 	if !u.enabled || u.handling || u.waiting || u.pending != nil {
 		u.fabric.nack(now, u, thief)
 		return
@@ -162,6 +178,7 @@ func (f *Fabric) nack(now sim.Time, victim *Unit, thief int) {
 	f.Stats.Nacks++
 	t := f.units[thief]
 	arrive := f.mesh.Send(now, victim.node, t.node, msgBytes, noc.SyncResp)
+	arrive += f.Faults.ULIDelay(arrive)
 	t.respPayload, t.respOK, t.respAt = 0, false, arrive
 	t.unblockAt(arrive)
 }
@@ -199,8 +216,38 @@ func (u *Unit) Poll(proc *sim.Proc) {
 	f.Stats.Acks++
 	t := f.units[req.thief]
 	arrive := f.mesh.Send(proc.Now(), u.node, t.node, msgBytes, noc.SyncResp)
+	arrive += f.Faults.ULIDelay(arrive)
 	f.Stats.LatencySum += arrive - req.sentAt
 	t.respPayload, t.respOK, t.respAt = payload, true, arrive
 	t.unblockAt(arrive)
 	u.handling = false
+}
+
+// DumpState writes the fabric's diagnostic state: aggregate stats plus
+// every unit that is mid-protocol (waiting in SendReq, running a
+// handler, or holding a buffered request) — the state needed to debug a
+// steal livelock. Registered as a kernel dump hook by the machine
+// layer.
+func (f *Fabric) DumpState(w io.Writer) {
+	enabled := 0
+	for _, u := range f.units {
+		if u.enabled {
+			enabled++
+		}
+	}
+	fmt.Fprintf(w, "uli: reqs=%d acks=%d nacks=%d handlers=%d, %d/%d units enabled\n",
+		f.Stats.Reqs, f.Stats.Acks, f.Stats.Nacks, f.Stats.HandlerRuns,
+		enabled, len(f.units))
+	for _, u := range f.units {
+		if !u.waiting && !u.handling && u.pending == nil {
+			continue
+		}
+		line := fmt.Sprintf("  unit %d: enabled=%v waiting=%v handling=%v",
+			u.core, u.enabled, u.waiting, u.handling)
+		if u.pending != nil {
+			line += fmt.Sprintf(" pending(thief=%d arrived=%d)",
+				u.pending.thief, u.pending.arrived)
+		}
+		fmt.Fprintln(w, line)
+	}
 }

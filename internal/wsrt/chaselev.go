@@ -19,7 +19,7 @@ import (
 
 // clEnq is the owner's lock-free push.
 func (c *Ctx) clEnq(d deque, task mem.Addr) {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	tail := c.env.Load(d.tailAddr())
 	head := c.env.Load(d.headAddr())
 	if tail-head >= dequeCapacity {
@@ -35,7 +35,7 @@ func (c *Ctx) clEnq(d deque, task mem.Addr) {
 // slot by decrementing tail first, then checks whether a thief raced it
 // to the final element; the race is settled by one CAS on head.
 func (c *Ctx) clDeq(d deque) mem.Addr {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	tail := c.env.Load(d.tailAddr())
 	head := c.env.Load(d.headAddr())
 	if head == tail {
@@ -67,7 +67,7 @@ func (c *Ctx) clDeq(d deque) mem.Addr {
 // clSteal is the thief's lock-free FIFO pop: read head/tail, read the
 // slot, then claim it with a CAS on head.
 func (c *Ctx) clSteal(d deque) mem.Addr {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	head := c.env.Load(d.headAddr())
 	tail := c.env.Load(d.tailAddr())
 	if head >= tail {

@@ -1,0 +1,47 @@
+package wsrt
+
+import "testing"
+
+// TestCostsDefaultsMatchLegacy pins DefaultCosts to the historical
+// constant values: changing them changes every reported cycle count.
+func TestCostsDefaultsMatchLegacy(t *testing.T) {
+	want := Costs{
+		Spawn: 12, DequeOp: 8, VictimSelect: 6, WaitIter: 4,
+		HandlerBody: 12, TaskProlog: 6,
+		IdleBackoff: 16, IdleBackoffCap: 4096, IdleBackoffShift: 9,
+	}
+	if got := DefaultCosts(); got != want {
+		t.Fatalf("DefaultCosts() = %+v, want %+v", got, want)
+	}
+}
+
+// TestCostsOverrideChangesCycles: inflating the per-operation costs
+// must slow the simulated run down; the override is actually applied.
+func TestCostsOverrideChangesCycles(t *testing.T) {
+	run := func(costs Costs) (uint64, int64) {
+		m := smallMachine(t, "gwb", true)
+		rt := New(m, DTS)
+		rt.Costs = costs
+		fid := rt.RegisterFunc("fib", 512)
+		out := m.Mem.AllocWords(1)
+		if err := rt.Run(fibProgram(fid, 12, out)); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Cache.DebugReadWord(out); got != 144 {
+			t.Fatalf("fib(12) = %d, want 144", got)
+		}
+		return uint64(m.Kernel.Now()), int64(rt.Stats.Spawns)
+	}
+	base, baseSpawns := run(DefaultCosts())
+	slow := DefaultCosts()
+	slow.Spawn *= 20
+	slow.DequeOp *= 20
+	slowCycles, slowSpawns := run(slow)
+	if slowCycles <= base {
+		t.Fatalf("20x spawn/deque costs did not slow the run: %d vs %d cycles",
+			slowCycles, base)
+	}
+	if baseSpawns == 0 || slowSpawns == 0 {
+		t.Fatal("no spawns recorded")
+	}
+}

@@ -27,7 +27,7 @@ func (c *Ctx) lockRelease(d deque) {
 
 // enq pushes a task on the tail (owner side, LIFO end).
 func (c *Ctx) enq(d deque, task mem.Addr) {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	tail := c.env.Load(d.tailAddr())
 	head := c.env.Load(d.headAddr())
 	if tail-head >= dequeCapacity {
@@ -39,7 +39,7 @@ func (c *Ctx) enq(d deque, task mem.Addr) {
 
 // deq pops from the tail (owner side, LIFO order); 0 when empty.
 func (c *Ctx) deq(d deque) mem.Addr {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	tail := c.env.Load(d.tailAddr())
 	head := c.env.Load(d.headAddr())
 	if head == tail {
@@ -52,7 +52,7 @@ func (c *Ctx) deq(d deque) mem.Addr {
 
 // stealHead pops from the head (thief side, FIFO order); 0 when empty.
 func (c *Ctx) stealHead(d deque) mem.Addr {
-	c.env.Compute(costDequeOp)
+	c.env.Compute(c.rt.Costs.DequeOp)
 	head := c.env.Load(d.headAddr())
 	tail := c.env.Load(d.tailAddr())
 	if head == tail {
@@ -67,7 +67,7 @@ func (c *Ctx) stealHead(d deque) mem.Addr {
 // (default: uniformly random other thread, the paper's
 // "random victim selection").
 func (c *Ctx) chooseVictim() int {
-	c.env.Compute(costVictimSelect)
+	c.env.Compute(c.rt.Costs.VictimSelect)
 	n := c.rt.nthreads
 	if n == 1 {
 		return c.tid // single-threaded: only the (empty) own deque exists
@@ -101,7 +101,7 @@ func (c *Ctx) spawnTask(t mem.Addr) {
 	rt.Stats.Spawns++
 	rt.Tracer.Emit(c.env.Now(), c.tid, trace.Spawn, uint64(t))
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
-	c.env.Compute(costSpawn)
+	c.env.Compute(c.rt.Costs.Spawn)
 	d := rt.deques[c.tid]
 	switch rt.Variant {
 	case HW: // Fig 3(a)
@@ -245,7 +245,7 @@ func (c *Ctx) stealFrom(vid int) mem.Addr {
 // on the victim's thread at an interrupt boundary; the returned payload
 // is the response message's single word.
 func (c *Ctx) uliHandler(thief int) uint64 {
-	c.env.Compute(costHandlerBody)
+	c.env.Compute(c.rt.Costs.HandlerBody)
 	t := c.deq(c.rt.deques[c.tid])
 	if t == 0 {
 		return 0
@@ -290,7 +290,7 @@ func (c *Ctx) executeTask(t mem.Addr, stolen bool) {
 	prev := c.cur
 	c.cur = t
 	c.env.SetFunc(rec.fid, rt.footprint(rec.fid))
-	c.env.Compute(costTaskProlog)
+	c.env.Compute(c.rt.Costs.TaskProlog)
 	rec.body(c)
 	c.cur = prev
 	rt.Tracer.Emit(c.env.Now(), c.tid, trace.ExecEnd, uint64(t))
@@ -351,7 +351,7 @@ func (c *Ctx) wait(p mem.Addr) {
 	rt := c.rt
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
 	for c.readRC(p) > 0 {
-		c.env.Compute(costWaitIter)
+		c.env.Compute(c.rt.Costs.WaitIter)
 		if t := c.popLocal(); t != 0 {
 			c.executeTask(t, false)
 			continue
@@ -433,10 +433,11 @@ func (c *Ctx) checkDone(iter uint64) bool {
 // banks that hold the done flag and victims' locks — the same backoff
 // production work-stealing runtimes use.
 func (c *Ctx) idleBackoff() {
-	n := costIdleBackoff << c.failStreak
-	if n > 4096 {
-		n = 4096
-	} else if c.failStreak < 9 {
+	costs := &c.rt.Costs
+	n := costs.IdleBackoff << c.failStreak
+	if n > costs.IdleBackoffCap {
+		n = costs.IdleBackoffCap
+	} else if c.failStreak < costs.IdleBackoffShift {
 		c.failStreak++
 	}
 	// Spin in short chunks: every Compute boundary is an interrupt

@@ -45,7 +45,7 @@ func (rt *RT) runMain(c *Ctx, root Body) {
 	rootDesc := c.newTask(fidRuntime, root)
 	c.cur = rootDesc
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
-	c.env.Compute(costTaskProlog)
+	c.env.Compute(c.rt.Costs.TaskProlog)
 	root(c)
 	c.freeTask(rootDesc)
 	// Signal termination with a coherent write.

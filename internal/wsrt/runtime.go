@@ -2,6 +2,7 @@ package wsrt
 
 import (
 	"fmt"
+	"io"
 
 	"bigtiny/internal/cache"
 	"bigtiny/internal/machine"
@@ -91,17 +92,46 @@ func (v VictimPolicy) String() string {
 	return fmt.Sprintf("VictimPolicy(%d)", int(v))
 }
 
-// Runtime instruction-cost constants (abstract instructions charged on
-// top of the memory operations the engine performs).
-const (
-	costSpawn        = 12
-	costDequeOp      = 8
-	costVictimSelect = 6
-	costWaitIter     = 4
-	costHandlerBody  = 12
-	costTaskProlog   = 6
-	costIdleBackoff  = 16
-)
+// Costs are the runtime's abstract instruction costs, charged on top
+// of the memory operations the engine performs. DefaultCosts matches
+// the paper's modelled runtime; ablation studies can override
+// individual fields before Run.
+type Costs struct {
+	// Spawn is the task-creation overhead (descriptor setup).
+	Spawn int
+	// DequeOp is one enqueue/dequeue/steal deque manipulation.
+	DequeOp int
+	// VictimSelect is the thief's victim-selection computation.
+	VictimSelect int
+	// WaitIter is one iteration of the wait loop's bookkeeping.
+	WaitIter int
+	// HandlerBody is the DTS ULI steal handler body.
+	HandlerBody int
+	// TaskProlog is the per-task entry sequence.
+	TaskProlog int
+	// IdleBackoff seeds the exponential idle backoff: a failed steal
+	// spins IdleBackoff << failStreak cycles, capped at IdleBackoffCap;
+	// the streak stops growing at IdleBackoffShift.
+	IdleBackoff      int
+	IdleBackoffCap   int
+	IdleBackoffShift int
+}
+
+// DefaultCosts returns the modelled runtime's instruction costs.
+func DefaultCosts() Costs {
+	return Costs{
+		Spawn:        12,
+		DequeOp:      8,
+		VictimSelect: 6,
+		WaitIter:     4,
+		HandlerBody:  12,
+		TaskProlog:   6,
+
+		IdleBackoff:      16,
+		IdleBackoffCap:   4096,
+		IdleBackoffShift: 9,
+	}
+}
 
 // Runtime function ids for the instruction-cache model.
 const (
@@ -129,6 +159,10 @@ type RT struct {
 
 	// Grain is the default parallel_for grain (task granularity, §V-D).
 	Grain int
+
+	// Costs are the runtime's abstract instruction costs (set to
+	// DefaultCosts by New/NewNative; override before Run for ablations).
+	Costs Costs
 
 	// Tracer, when non-nil, records cycle-stamped scheduler events
 	// (spawns, steals, task execution) for offline inspection.
@@ -160,13 +194,33 @@ func New(m *machine.Machine, v Variant) *RT {
 		free:  make([][]mem.Addr, n),
 		funcs: make([]FuncInfo, fidFirst),
 		Grain: 32,
+		Costs: DefaultCosts(),
 	}
 	rt.funcs[fidRuntime] = FuncInfo{Name: "runtime", Footprint: 2048}
 	rt.doneAddr = m.Mem.AllocWords(1)
 	for t := 0; t < n; t++ {
 		rt.deques = append(rt.deques, deque{base: m.Mem.AllocWords(dequeWords)})
 	}
+	m.Kernel.AddDumpHook(rt.dumpState)
 	return rt
+}
+
+// dumpState writes the runtime's diagnostic state (registered as a
+// kernel dump hook): run stats plus the occupancy of every non-empty
+// deque, read directly from simulated memory.
+func (rt *RT) dumpState(w io.Writer) {
+	fmt.Fprintf(w, "wsrt: variant=%s spawns=%d steals=%d/%d nacks=%d done=%d\n",
+		rt.Variant, rt.Stats.Spawns, rt.Stats.StealHits, rt.Stats.StealTries,
+		rt.Stats.StealNacks, rt.M.Cache.DebugReadWord(rt.doneAddr))
+	for t, d := range rt.deques {
+		head := rt.M.Cache.DebugReadWord(d.headAddr())
+		tail := rt.M.Cache.DebugReadWord(d.tailAddr())
+		if head == tail {
+			continue
+		}
+		fmt.Fprintf(w, "  deque %d: %d queued tasks (head=%d tail=%d)\n",
+			t, tail-head, head, tail)
+	}
 }
 
 // NewNative builds a machine-less runtime whose programs execute
@@ -178,6 +232,7 @@ func NewNative(m *mem.Memory) *RT {
 		tasks:     make(map[mem.Addr]*taskRec),
 		funcs:     make([]FuncInfo, fidFirst),
 		Grain:     32,
+		Costs:     DefaultCosts(),
 	}
 	rt.funcs[fidRuntime] = FuncInfo{Name: "runtime", Footprint: 2048}
 	return rt
