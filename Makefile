@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race chaos-smoke
+.PHONY: all ci vet build test race chaos-smoke chaos-lossy-smoke oracle-smoke
 
 all: ci
 
-ci: vet build test race chaos-smoke
+ci: vet build test race chaos-smoke chaos-lossy-smoke oracle-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +28,16 @@ race:
 # reference (see EXPERIMENTS.md "Fault injection & chaos runs").
 chaos-smoke:
 	$(GO) run ./cmd/paperbench -apps cilk5-cs,ligra-bfs chaos
+
+# Survivability pass: one app under the lossy-ULI and core-loss
+# scenarios (steal messages dropped, a tiny core fail-stopped mid-run);
+# the run must still produce the reference output, with the oracle
+# shadowing every memory operation (see EXPERIMENTS.md "Recovery
+# experiments").
+chaos-lossy-smoke:
+	$(GO) run ./cmd/paperbench -apps cilk5-cs -faults lossy-uli,core-loss chaos
+
+# Memory-ordering oracle pass on a fault-free run: zero violations and
+# zero simulated-cycle overhead expected.
+oracle-smoke:
+	$(GO) run ./cmd/btsim -config bT8/HCC-DTS-gwb -app cilk5-cs -oracle

@@ -5,6 +5,7 @@
 //
 //	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N]
 //	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults chaos-all [-fault-seed N]
+//	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults lossy-uli -oracle
 //	btsim -list-configs
 //	btsim -list-apps
 //	btsim -list-faults
@@ -34,8 +35,18 @@ func main() {
 	listFaults := flag.Bool("list-faults", false, "list fault-injection scenarios")
 	faults := flag.String("faults", "", "fault-injection scenario (see -list-faults)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+	oracleOn := flag.Bool("oracle", false, "shadow the run with the memory-ordering oracle")
 	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
 	flag.Parse()
+
+	// Reject unknown scenario names before any simulation work: a typo
+	// in -faults should not silently run fault-free for minutes.
+	if *faults != "" {
+		if _, err := fault.Lookup(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "btsim:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *listFaults {
 		for _, sc := range fault.Scenarios() {
@@ -76,6 +87,7 @@ func main() {
 	s.Grain = *grain
 	s.FaultScenario = *faults
 	s.FaultSeed = *faultSeed
+	s.Oracle = *oracleOn
 	if *traceFile != "" {
 		s.Tracer = &trace.Recorder{Limit: 2_000_000}
 	}
@@ -118,12 +130,19 @@ func main() {
 	fmt.Printf("NoC util   : max %.2f%%, mean %.2f%% of link cycles\n", 100*r.NoCMaxUtil, 100*r.NoCMeanUtil)
 	fmt.Printf("  %s\n", stats.TrafficString(&r.Traffic))
 	if r.ULI != nil {
-		fmt.Printf("ULI        : %d reqs, %d acks, %d nacks, avg latency %.1f cycles, max util %.2f%%\n",
-			r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks, r.ULIAvgLatency, 100*r.ULIMeshMaxUtil)
+		fmt.Printf("ULI        : %d reqs, %d acks, %d nacks, %d drops, avg latency %.1f cycles, max util %.2f%%\n",
+			r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks, r.ULI.Drops, r.ULIAvgLatency, 100*r.ULIMeshMaxUtil)
+		if r.ULI.Timeouts > 0 || r.ULI.LateAcks > 0 || r.ULI.Restitutions > 0 {
+			fmt.Printf("ULI loss   : %d timeouts, %d late acks salvaged, %d restitutions\n",
+				r.ULI.Timeouts, r.ULI.LateAcks, r.ULI.Restitutions)
+		}
 	}
 	if *faults != "" {
 		fmt.Printf("faults     : scenario %s, seed %d: %s (%d total)\n",
 			*faults, *faultSeed, r.FaultSummary, r.FaultTotal)
+	}
+	if *oracleOn {
+		fmt.Printf("oracle     : %d memory operations checked, 0 violations\n", r.OracleOps)
 	}
 	fmt.Printf("runtime    : %v\n", r.RT)
 	fmt.Printf("energy     : %.1f uJ (proxy)\n", energy.DefaultModel().Estimate(r))

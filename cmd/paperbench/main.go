@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	paperbench [-size test|ref|big] [-apps a,b,c] [-v] [targets...]
+//	paperbench [-size test|ref|big] [-apps a,b,c] [-faults s1,s2] [-v] [targets...]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
 // chaos all (default: all except table5, which simulates a 256-core
@@ -21,6 +21,7 @@ import (
 
 	"bigtiny/internal/apps"
 	"bigtiny/internal/bench"
+	"bigtiny/internal/fault"
 )
 
 func main() {
@@ -29,7 +30,20 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	noVerify := flag.Bool("no-verify", false, "skip output verification after each run")
 	jsonOut := flag.String("json", "", "also dump all collected metrics as JSON to this file")
+	faultList := flag.String("faults", "",
+		"comma-separated fault scenarios for the chaos target (default: the built-in sweep set)")
 	flag.Parse()
+
+	var chaosScenarios []string
+	if *faultList != "" {
+		chaosScenarios = strings.Split(*faultList, ",")
+		for _, sc := range chaosScenarios {
+			if _, err := fault.Lookup(sc); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(2)
+			}
+		}
+	}
 
 	var sz apps.Size
 	switch *size {
@@ -100,7 +114,7 @@ func main() {
 		case "energy":
 			err = s.EnergyReport(out, names)
 		case "chaos":
-			err = bench.Chaos(out, names, nil, 1)
+			err = bench.Chaos(out, names, chaosScenarios, 1)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}

@@ -38,6 +38,9 @@ type Suite struct {
 	// (fault.Lookup) applied to every run, seeded with FaultSeed.
 	FaultScenario string
 	FaultSeed     uint64
+	// Oracle shadows every run with the memory-ordering oracle
+	// (internal/oracle); a violation fails the run.
+	Oracle bool
 
 	results map[string]*stats.Run
 	views   map[string]cilkview.Report
@@ -71,6 +74,9 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 	if s.FaultScenario != "" {
 		key = fmt.Sprintf("%s|%s|%d", key, s.FaultScenario, s.FaultSeed)
 	}
+	if s.Oracle {
+		key += "|oracle"
+	}
 	if r, ok := s.results[key]; ok {
 		return r, nil
 	}
@@ -86,6 +92,7 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 		cfg.Faults = &sc
 		cfg.FaultSeed = s.FaultSeed
 	}
+	cfg.Oracle = s.Oracle
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"bigtiny/internal/machine"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/sim"
+	"bigtiny/internal/uli"
 	"bigtiny/internal/wsrt"
 )
 
@@ -27,6 +28,14 @@ type ChaosResult struct {
 	// down per site.
 	Faults  uint64
 	Summary string
+	// ULI is the fabric's protocol accounting (steal requests, drops,
+	// timeouts, ...) and RT the runtime's recovery counters, for
+	// invariant checks on lossy scenarios.
+	ULI uli.Stats
+	RT  wsrt.RunStats
+	// OracleOps is how many memory operations the ordering oracle
+	// checked (every chaos run shadows the caches with the oracle).
+	OracleOps uint64
 }
 
 // RunChaos runs one app under a named fault scenario on ChaosConfig and
@@ -49,6 +58,9 @@ func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
 	}
 	cfg.Faults = &sc
 	cfg.FaultSeed = seed
+	// Every chaos run shadows the caches with the memory-ordering oracle:
+	// faults must never produce a load no legal per-location order allows.
+	cfg.Oracle = true
 
 	m := machine.New(cfg)
 	rt := wsrt.New(m, wsrt.AutoVariant(m))
@@ -64,12 +76,15 @@ func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
 			appName, scenarioName, seed, err)
 	}
 	res := &ChaosResult{
-		App:      appName,
-		Scenario: scenarioName,
-		Seed:     seed,
-		Cycles:   m.Kernel.Now(),
-		Faults:   m.Faults.Total(),
-		Summary:  m.Faults.Summary(),
+		App:       appName,
+		Scenario:  scenarioName,
+		Seed:      seed,
+		Cycles:    m.Kernel.Now(),
+		Faults:    m.Faults.Total(),
+		Summary:   m.Faults.Summary(),
+		ULI:       m.ULI.Stats,
+		RT:        rt.Stats,
+		OracleOps: m.Oracle.Ops,
 	}
 	if !sc.Zero() && res.Faults == 0 {
 		return nil, fmt.Errorf("chaos: %s under %s (seed %d): scenario injected no faults",
@@ -78,8 +93,13 @@ func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
 	return res, nil
 }
 
-// ChaosScenarios is the default scenario set for chaos sweeps.
-var ChaosScenarios = []string{"noc-jitter", "uli-nack-storm", "dram-spike", "chaos-all"}
+// ChaosScenarios is the default scenario set for chaos sweeps. The
+// lossy scenarios exercise the recovery layer: dropped steal messages,
+// steal timeouts/retries, and mid-run core loss with reclamation.
+var ChaosScenarios = []string{
+	"noc-jitter", "uli-nack-storm", "dram-spike", "chaos-all",
+	"lossy-uli", "core-loss", "chaos-lossy-all",
+}
 
 // Chaos runs every app under every named scenario (ChaosScenarios when
 // scenarios is nil) and writes a per-run table: cycles, fault count,

@@ -42,28 +42,85 @@ func TestChaosAllScenario(t *testing.T) {
 	}
 }
 
+// TestChaosLossyInvariance is the recovery layer's core claim: even
+// when steal requests and responses vanish on the ULI mesh and a tiny
+// core fail-stops mid-run, every app still computes the serial-reference
+// answer within its deadline. RunChaos also shadows every run with the
+// memory-ordering oracle, so a recovery path that skipped a coherence
+// operation would fail here even if the final output happened to match.
+func TestChaosLossyInvariance(t *testing.T) {
+	for _, appName := range AppNames() {
+		for _, scName := range []string{"lossy-uli", "core-loss", "chaos-lossy-all"} {
+			t.Run(appName+"/"+scName, func(t *testing.T) {
+				r, err := RunChaos(appName, scName, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.OracleOps == 0 {
+					t.Fatal("oracle checked no memory operations")
+				}
+				if scName == "core-loss" && r.RT.OfflineCores == 0 {
+					t.Fatal("core-loss scenario took no core offline")
+				}
+				if scName == "lossy-uli" && r.ULI.Drops == 0 {
+					t.Fatal("lossy-uli scenario dropped no steal messages")
+				}
+			})
+		}
+	}
+}
+
+// TestULIAccountingInvariant: every steal request terminates in exactly
+// one of ACK delivered, NACK delivered, or dropped somewhere on its
+// path — so Reqs == Acks + Nacks + Drops always — and the mean latency
+// is computed over delivered ACKs only.
+func TestULIAccountingInvariant(t *testing.T) {
+	for _, scName := range []string{"chaos-all", "lossy-uli", "chaos-lossy-all"} {
+		for _, appName := range []string{"cilk5-cs", "cilk5-mm", "ligra-bfs"} {
+			r, err := RunChaos(appName, scName, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := r.ULI
+			if u.Reqs != u.Acks+u.Nacks+u.Drops {
+				t.Errorf("%s/%s: reqs=%d != acks=%d + nacks=%d + drops=%d",
+					appName, scName, u.Reqs, u.Acks, u.Nacks, u.Drops)
+			}
+			if u.Acks == 0 && u.AvgLatency() != 0 {
+				t.Errorf("%s/%s: nonzero AvgLatency with zero ACKs", appName, scName)
+			}
+			if u.Acks > 0 && u.AvgLatency() <= 0 {
+				t.Errorf("%s/%s: AvgLatency %.2f with %d ACKs",
+					appName, scName, u.AvgLatency(), u.Acks)
+			}
+		}
+	}
+}
+
 // TestChaosSeedReproducible: the same (app, scenario, seed) must give
 // bit-identical cycle counts, and a different seed must perturb them.
 func TestChaosSeedReproducible(t *testing.T) {
-	a, err := RunChaos("cilk5-cs", "chaos-all", 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := RunChaos("cilk5-cs", "chaos-all", 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Cycles != b.Cycles || a.Faults != b.Faults {
-		t.Fatalf("same seed diverged: %d/%d cycles, %d/%d faults",
-			a.Cycles, b.Cycles, a.Faults, b.Faults)
-	}
-	c, err := RunChaos("cilk5-cs", "chaos-all", 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Cycles == c.Cycles && a.Summary == c.Summary {
-		t.Fatalf("seeds 7 and 8 produced identical runs (%d cycles, %q)",
-			a.Cycles, a.Summary)
+	for _, scName := range []string{"chaos-all", "chaos-lossy-all"} {
+		a, err := RunChaos("cilk5-cs", scName, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunChaos("cilk5-cs", scName, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.Faults != b.Faults {
+			t.Fatalf("%s: same seed diverged: %d/%d cycles, %d/%d faults",
+				scName, a.Cycles, b.Cycles, a.Faults, b.Faults)
+		}
+		c, err := RunChaos("cilk5-cs", scName, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles == c.Cycles && a.Summary == c.Summary {
+			t.Fatalf("%s: seeds 7 and 8 produced identical runs (%d cycles, %q)",
+				scName, a.Cycles, a.Summary)
+		}
 	}
 }
 

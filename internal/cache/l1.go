@@ -55,6 +55,10 @@ type L1 struct {
 	// (see internal/fault).
 	Faults *fault.Injector
 
+	// Oracle, when non-nil, shadows every load/store/AMO (set only by
+	// oracle-enabled machines; must never hold a typed nil).
+	Oracle Oracle
+
 	Stats L1Stats
 }
 
@@ -188,32 +192,45 @@ func (l *L1) pressureFault(now sim.Time, a mem.Addr) {
 func (l *L1) Load(now sim.Time, a mem.Addr) (uint64, sim.Time) {
 	l.Stats.Loads++
 	l.pressureFault(now, a)
+	var v uint64
+	var done sim.Time
 	switch l.proto {
 	case MESI:
-		return l.loadMESI(now, a)
+		v, done = l.loadMESI(now, a)
 	case DeNovo:
-		return l.loadDeNovo(now, a)
+		v, done = l.loadDeNovo(now, a)
 	case GPUWT, GPUWB:
-		return l.loadGPU(now, a)
+		v, done = l.loadGPU(now, a)
+	default:
+		panic("cache: unknown protocol")
 	}
-	panic("cache: unknown protocol")
+	if l.Oracle != nil {
+		l.Oracle.OnLoad(l.core, uint64(a), v)
+	}
+	return v, done
 }
 
 // Store writes v to the word at a, returning the completion time.
 func (l *L1) Store(now sim.Time, a mem.Addr, v uint64) sim.Time {
 	l.Stats.Stores++
 	l.pressureFault(now, a)
+	var done sim.Time
 	switch l.proto {
 	case MESI:
-		return l.storeMESI(now, a, v)
+		done = l.storeMESI(now, a, v)
 	case DeNovo:
-		return l.storeDeNovo(now, a, v)
+		done = l.storeDeNovo(now, a, v)
 	case GPUWT:
-		return l.storeGPUWT(now, a, v)
+		done = l.storeGPUWT(now, a, v)
 	case GPUWB:
-		return l.storeGPUWB(now, a, v)
+		done = l.storeGPUWB(now, a, v)
+	default:
+		panic("cache: unknown protocol")
 	}
-	panic("cache: unknown protocol")
+	if l.Oracle != nil {
+		l.Oracle.OnStore(l.core, uint64(a), v)
+	}
+	return done
 }
 
 // Amo performs an atomic read-modify-write on the word at a and
@@ -223,15 +240,23 @@ func (l *L1) Store(now sim.Time, a mem.Addr, v uint64) sim.Time {
 func (l *L1) Amo(now sim.Time, a mem.Addr, op AmoOp, arg1, arg2 uint64) (uint64, sim.Time) {
 	l.Stats.Amos++
 	l.pressureFault(now, a)
+	var old uint64
+	var done sim.Time
 	switch l.proto {
 	case MESI:
-		return l.amoMESI(now, a, op, arg1, arg2)
+		old, done = l.amoMESI(now, a, op, arg1, arg2)
 	case DeNovo:
-		return l.amoDeNovo(now, a, op, arg1, arg2)
+		old, done = l.amoDeNovo(now, a, op, arg1, arg2)
 	case GPUWT, GPUWB:
-		return l.amoGPU(now, a, op, arg1, arg2)
+		old, done = l.amoGPU(now, a, op, arg1, arg2)
+	default:
+		panic("cache: unknown protocol")
 	}
-	panic("cache: unknown protocol")
+	if l.Oracle != nil {
+		newVal, wrote := applyAmo(op, old, arg1, arg2)
+		l.Oracle.OnAmo(l.core, uint64(a), old, newVal, wrote)
+	}
+	return old, done
 }
 
 // Invalidate executes cache_invalidate: self-invalidate all clean data

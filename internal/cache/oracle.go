@@ -1,0 +1,19 @@
+package cache
+
+// Oracle observes every architecturally-performed load, store, and AMO
+// issued through an L1, in issue order. It is declared here (not in
+// internal/oracle) so the cache layer need not import its checker.
+//
+// Values are resolved synchronously at issue time in this model — the
+// store buffer and miss latencies affect only timing — so the issue
+// order seen by the oracle is the per-core program order, which is
+// exactly what a per-location ordering check needs.
+type Oracle interface {
+	// OnLoad observes core reading v from word address a.
+	OnLoad(core int, a uint64, v uint64)
+	// OnStore observes core writing v to word address a.
+	OnStore(core int, a uint64, v uint64)
+	// OnAmo observes an atomic on a: old is the value read, newVal the
+	// value written (meaningful only when wrote is true).
+	OnAmo(core int, a uint64, old, newVal uint64, wrote bool)
+}

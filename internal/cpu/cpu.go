@@ -81,11 +81,14 @@ type Core struct {
 	ULI *uli.Unit // nil when the config has no ULI hardware
 
 	// Faults, when non-nil, can turn this core into a straggler by
-	// multiplying its compute time (see internal/fault). FaultLane is
-	// the core's index among straggler candidates (the tiny cores);
-	// -1 exempts the core.
+	// multiplying its compute time, or fail-stop it mid-run (see
+	// internal/fault). FaultLane is the core's index among fault
+	// candidates (the tiny cores); -1 exempts the core.
 	Faults    *fault.Injector
 	FaultLane int
+	// wentOffline latches the fail-stop transition so it is recorded
+	// (and reported) exactly once.
+	wentOffline bool
 
 	proc *sim.Proc
 
@@ -171,6 +174,23 @@ func (c *Core) poll() {
 			c.Cycles[ClassOther] += uint64(after - before)
 		}
 	}
+}
+
+// Offline reports whether this core has fail-stopped (fault scenario
+// core offlining). The first true result latches the transition and
+// records the injection. The runtime checks it at scheduling-loop
+// boundaries and, on true, abandons the core forever; survivors reclaim
+// its queued work.
+func (c *Core) Offline() bool {
+	if c.wentOffline {
+		return true
+	}
+	if c.Faults.CoreOffline(c.FaultLane, c.proc.Now()) {
+		c.wentOffline = true
+		c.Faults.Fired(fault.CoreOffline)
+		return true
+	}
+	return false
 }
 
 // SetFunc declares that subsequent Compute instructions belong to the

@@ -34,6 +34,9 @@ const (
 	NoCDelay     Site = iota // extra data-mesh message latency
 	ULINack                  // forced NACK of a ULI steal request
 	ULIDelay                 // delayed ULI message delivery
+	ULIReqDrop               // steal request lost on the ULI mesh
+	ULIRespDrop              // steal response lost on the ULI mesh
+	CoreOffline              // tiny core fail-stops its scheduling loop
 	DRAMSpike                // extra DRAM access latency
 	DRAMThrottle             // DRAM bandwidth throttled (longer occupancy)
 	CPUStall                 // straggling tiny core (slowed compute)
@@ -42,8 +45,8 @@ const (
 )
 
 var siteNames = [NumSites]string{
-	"noc-delay", "uli-nack", "uli-delay", "dram-spike", "dram-throttle",
-	"cpu-stall", "cache-evict",
+	"noc-delay", "uli-nack", "uli-delay", "uli-req-drop", "uli-resp-drop",
+	"core-offline", "dram-spike", "dram-throttle", "cpu-stall", "cache-evict",
 }
 
 // String returns the site's display name.
@@ -77,6 +80,18 @@ type Scenario struct {
 	ULIDelayProb   float64  // probability a ULI message is delayed
 	ULIDelayMax    sim.Time // delay is uniform in [1, ULIDelayMax]
 
+	// Lossy ULI: steal-path messages vanish on the mesh. A nonzero drop
+	// probability arms the runtime's steal-timeout/retry machinery (see
+	// Lossy).
+	ULIReqDropProb  float64 // probability a steal request is dropped
+	ULIRespDropProb float64 // probability a steal response (ACK or NACK) is dropped
+
+	// Core offlining: at OfflineAt, the OfflineLane-th tiny core
+	// fail-stops its scheduling loop forever (0 = off). Big cores never
+	// go offline — core 0 runs the root task.
+	OfflineAt   sim.Time
+	OfflineLane int
+
 	// DRAM: latency spikes and periodic bandwidth throttling.
 	DRAMSpikeProb      float64  // probability an access takes a spike
 	DRAMSpikeLat       sim.Time // extra latency per spiked access
@@ -99,7 +114,17 @@ func (sc *Scenario) Zero() bool {
 	return sc.NoCJitterProb == 0 && sc.NoCBurstPeriod == 0 &&
 		sc.ULINackProb == 0 && sc.ULIDelayProb == 0 &&
 		sc.DRAMSpikeProb == 0 && sc.DRAMThrottlePeriod == 0 &&
-		sc.StragglerEvery == 0 && sc.EvictEvery == 0
+		sc.StragglerEvery == 0 && sc.EvictEvery == 0 &&
+		!sc.Lossy()
+}
+
+// Lossy reports whether the scenario can lose steal-path messages or
+// offline a core — the fault classes that require the runtime's
+// recovery machinery (steal timeouts, retry/backoff, quarantine,
+// reclaim). The machine arms the ULI steal timeout only for lossy
+// scenarios, so fault-free runs schedule zero timers.
+func (sc *Scenario) Lossy() bool {
+	return sc.ULIReqDropProb > 0 || sc.ULIRespDropProb > 0 || sc.OfflineAt > 0
 }
 
 // Injector is a scenario bound to one machine: it holds the PRNG and
@@ -235,6 +260,42 @@ func (in *Injector) ULIDelay(now sim.Time) sim.Time {
 	return 0
 }
 
+// ULIDropReq reports whether a steal request is lost on the ULI mesh.
+func (in *Injector) ULIDropReq() bool {
+	if in == nil || in.sc.ULIReqDropProb == 0 {
+		return false
+	}
+	if in.rng.Float64() < in.sc.ULIReqDropProb {
+		in.counts[ULIReqDrop]++
+		return true
+	}
+	return false
+}
+
+// ULIDropResp reports whether a steal response (ACK or NACK) is lost
+// on the ULI mesh.
+func (in *Injector) ULIDropResp() bool {
+	if in == nil || in.sc.ULIRespDropProb == 0 {
+		return false
+	}
+	if in.rng.Float64() < in.sc.ULIRespDropProb {
+		in.counts[ULIRespDrop]++
+		return true
+	}
+	return false
+}
+
+// CoreOffline reports whether the lane-th tiny core (lane < 0 marks a
+// big core) has fail-stopped by now. It is a pure predicate — the core
+// latches the transition itself and records it with Fired(CoreOffline)
+// exactly once.
+func (in *Injector) CoreOffline(lane int, now sim.Time) bool {
+	if in == nil || lane < 0 || in.sc.OfflineAt == 0 {
+		return false
+	}
+	return lane == in.sc.OfflineLane && now >= in.sc.OfflineAt
+}
+
 // DRAMAccess perturbs one DRAM access: it returns the (possibly
 // throttled) bandwidth occupancy and any extra spike latency.
 func (in *Injector) DRAMAccess(now, service sim.Time) (occupancy, extra sim.Time) {
@@ -320,12 +381,37 @@ func Scenarios() []Scenario {
 			EvictEvery: 32,
 		},
 		{
+			Name:           "lossy-uli",
+			Desc:           "10% of steal requests and responses vanish on the ULI mesh, plus delayed deliveries",
+			ULIReqDropProb: 0.1, ULIRespDropProb: 0.1,
+			ULIDelayProb: 0.1, ULIDelayMax: 10,
+		},
+		{
+			Name:      "core-loss",
+			Desc:      "one tiny core fail-stops mid-run; survivors reclaim its queued work",
+			OfflineAt: 6_000, OfflineLane: 3,
+		},
+		{
 			Name:          "chaos-all",
 			Desc:          "a milder dose of every fault class at once",
 			NoCJitterProb: 0.1, NoCJitterMax: 4,
 			NoCBurstPeriod: 80_000, NoCBurstLen: 4_000, NoCBurstDelay: 8,
 			ULINackProb: 0.3, ULIStormPeriod: 40_000, ULIStormLen: 8_000,
 			ULIDelayProb: 0.1, ULIDelayMax: 10,
+			DRAMSpikeProb: 0.05, DRAMSpikeLat: 200,
+			DRAMThrottlePeriod: 150_000, DRAMThrottleLen: 15_000, DRAMThrottleFactor: 4,
+			StragglerEvery: 4, StragglerFactor: 2,
+			EvictEvery: 64,
+		},
+		{
+			Name:          "chaos-lossy-all",
+			Desc:          "every fault class at once, including steal-path loss and a mid-run core failure",
+			NoCJitterProb: 0.1, NoCJitterMax: 4,
+			NoCBurstPeriod: 80_000, NoCBurstLen: 4_000, NoCBurstDelay: 8,
+			ULINackProb: 0.3, ULIStormPeriod: 40_000, ULIStormLen: 8_000,
+			ULIDelayProb: 0.1, ULIDelayMax: 10,
+			ULIReqDropProb: 0.05, ULIRespDropProb: 0.05,
+			OfflineAt: 50_000, OfflineLane: 2,
 			DRAMSpikeProb: 0.05, DRAMSpikeLat: 200,
 			DRAMThrottlePeriod: 150_000, DRAMThrottleLen: 15_000, DRAMThrottleFactor: 4,
 			StragglerEvery: 4, StragglerFactor: 2,

@@ -15,6 +15,7 @@ import (
 	"bigtiny/internal/fault"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/noc"
+	"bigtiny/internal/oracle"
 	"bigtiny/internal/sim"
 	"bigtiny/internal/uli"
 )
@@ -48,6 +49,9 @@ type Config struct {
 	// so one Config can build many machines without shared state.
 	Faults    *fault.Scenario
 	FaultSeed uint64
+	// Oracle attaches a memory-ordering checker to every L1; Run fails
+	// if any load observed a value no legal per-location order allows.
+	Oracle bool
 }
 
 // NumCores returns the total core count.
@@ -65,6 +69,8 @@ type Machine struct {
 	MCs    []*dram.Controller
 	// Faults is this machine's fault injector (nil unless Cfg.Faults).
 	Faults *fault.Injector
+	// Oracle is the memory-ordering checker (nil unless Cfg.Oracle).
+	Oracle *oracle.Checker
 }
 
 // New builds a machine from cfg.
@@ -120,12 +126,23 @@ func New(cfg Config) *Machine {
 		fabric = uli.NewFabric(k, cfg.Rows+1, cfg.Cols, cfg.NumCores(),
 			func(core int) noc.NodeID { return coreNodes[core] })
 		fabric.Faults = inj
+		if sc := inj.Scenario(); sc.Lossy() {
+			// Steal-path messages can vanish: arm the thief-side timeout.
+			// Left at zero otherwise so fault-free runs schedule no
+			// timers and keep bit-identical cycle counts.
+			fabric.Timeout = uli.DefaultStealTimeout
+		}
 		k.AddDumpHook(fabric.DumpState)
+	}
+
+	var chk *oracle.Checker
+	if cfg.Oracle {
+		chk = oracle.New(cfg.NumCores())
 	}
 
 	m := &Machine{
 		Cfg: cfg, Kernel: k, Mesh: mesh, Mem: backing, Cache: cs,
-		ULI: fabric, MCs: mcs, Faults: inj,
+		ULI: fabric, MCs: mcs, Faults: inj, Oracle: chk,
 	}
 	for c := 0; c < cfg.NumCores(); c++ {
 		big := c < cfg.NumBig
@@ -139,6 +156,11 @@ func New(cfg Config) *Machine {
 			l1 = cache.NewL1(cs, c, cfg.TinyProto, cfg.L1TinyBytes, 2)
 		}
 		l1.Faults = inj
+		if chk != nil {
+			// Guarded assignment: a typed-nil Checker in the interface
+			// field would defeat the L1's nil check.
+			l1.Oracle = chk
+		}
 		var unit *uli.Unit
 		if fabric != nil {
 			unit = fabric.Unit(c)
@@ -202,8 +224,20 @@ func (m *Machine) Spawn(core int, body func(*cpu.Core)) {
 	})
 }
 
-// Run drives the simulation to completion.
-func (m *Machine) Run() error { return m.Kernel.Run(nil) }
+// Run drives the simulation to completion. With the oracle enabled,
+// any observed memory-ordering violation fails the run; it takes
+// precedence over a kernel error (deadline/deadlock), because an
+// ordering bug is usually the *cause* of the hang.
+func (m *Machine) Run() error {
+	err := m.Kernel.Run(nil)
+	if oerr := m.Oracle.Err(); oerr != nil {
+		if err != nil {
+			return fmt.Errorf("%w (and the run failed: %v)", oerr, err)
+		}
+		return oerr
+	}
+	return err
+}
 
 func max(a, b int) int {
 	if a > b {

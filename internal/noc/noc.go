@@ -200,6 +200,26 @@ func (m *Mesh) Send(now sim.Time, from, to NodeID, bytes int, cat Category) sim.
 	return t + sim.Time(flits-1)
 }
 
+// SendLossy is Send for the steal path of the ULI mesh: the message may
+// be lost. The drop decision comes from the passed injector (the ULI
+// mesh carries no injector of its own — timing faults apply to the data
+// mesh only, and drops are decided per steal-path message here) and is
+// drawn before the flits are injected. A dropped message still
+// traverses the network — the bytes are spent, traffic is counted, and
+// loss is modelled at the receiving network interface — so the caller
+// gets the would-be arrival time along with dropped=true and simply
+// never schedules the delivery.
+func (m *Mesh) SendLossy(now sim.Time, from, to NodeID, bytes int, cat Category,
+	in *fault.Injector) (arrive sim.Time, dropped bool) {
+	switch cat {
+	case SyncReq:
+		dropped = in.ULIDropReq()
+	case SyncResp:
+		dropped = in.ULIDropResp()
+	}
+	return m.Send(now, from, to, bytes, cat), dropped
+}
+
 // traverse moves the head flit across one link, modelling both queueing
 // (the link may be busy with earlier messages) and bandwidth (the link
 // is occupied one cycle per flit).

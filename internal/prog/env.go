@@ -54,6 +54,11 @@ type Env interface {
 	Alloc(nwords int) mem.Addr
 	// Rand is this thread's deterministic PRNG (victim selection).
 	Rand() *sim.Rand
+
+	// Offline reports whether this core has fail-stopped (fault
+	// injection). A scheduling loop that observes true must abandon the
+	// core forever.
+	Offline() bool
 }
 
 // SimEnv is the Env for one hardware thread of a simulated machine.
@@ -123,6 +128,9 @@ func (e *SimEnv) Alloc(nwords int) mem.Addr {
 
 // Rand returns the thread's PRNG.
 func (e *SimEnv) Rand() *sim.Rand { return e.rng }
+
+// Offline reports whether the core has fail-stopped.
+func (e *SimEnv) Offline() bool { return e.Core.Offline() }
 
 // NativeEnv executes functionally against a bare memory with zero
 // simulated time. It also counts abstract instructions, which the
@@ -199,6 +207,9 @@ func (e *NativeEnv) Alloc(nwords int) mem.Addr { return e.Mem.AllocWords(nwords)
 
 // Rand returns the deterministic PRNG.
 func (e *NativeEnv) Rand() *sim.Rand { return e.rng }
+
+// Offline reports false: native execution cannot lose its only thread.
+func (e *NativeEnv) Offline() bool { return false }
 
 // applyAmoNative mirrors the cache package's AMO semantics.
 func applyAmoNative(op cache.AmoOp, old, arg1, arg2 uint64) (uint64, bool) {

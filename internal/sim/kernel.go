@@ -102,6 +102,44 @@ func (k *Kernel) At(t Time, fn func()) {
 // After schedules fn to run d cycles from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
 
+// Timer is a cancellable one-shot event, the building block for
+// simulated-cycle timeouts (e.g. the ULI steal-request timeout). A
+// stopped timer's queue entry is skipped by Run without advancing
+// simulated time, so arming-and-cancelling timers is observationally
+// free: cycle counts are bit-identical to a run that never armed them.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the cancellation was in
+// time (false if the callback already ran or Stop was already called).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still armed (not fired, not
+// stopped).
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+
+// TimerAt schedules fn at time t and returns a handle that can cancel
+// it.
+func (k *Kernel) TimerAt(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: timer at %d before now %d", t, k.now))
+	}
+	k.seq++
+	e := &event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return &Timer{ev: e}
+}
+
+// TimerAfter schedules fn d cycles from now, cancellable.
+func (k *Kernel) TimerAfter(d Time, fn func()) *Timer { return k.TimerAt(k.now+d, fn) }
+
 // Run processes events until the queue is empty or stop returns true.
 // stop is checked between events and may be nil. It returns an error if
 // the deadline was exceeded or if Procs remain unfinished when the event
@@ -115,12 +153,19 @@ func (k *Kernel) Run(stop func() bool) error {
 			return nil
 		}
 		e := heap.Pop(&k.queue).(*event)
+		if e.fn == nil {
+			// A stopped Timer: skip without advancing time, so cancelled
+			// timeouts leave no trace in the cycle count.
+			continue
+		}
 		if e.at > k.maxTime {
 			return k.watchdogErr(fmt.Sprintf(
 				"deadline %d cycles exceeded (next event at %d)", k.maxTime, e.at))
 		}
 		k.now = e.at
-		e.fn()
+		fn := e.fn
+		e.fn = nil // a fired timer cannot be stopped retroactively
+		fn()
 	}
 	if k.err != nil {
 		return k.err

@@ -1,0 +1,85 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	k := NewKernel()
+	var firedAt Time
+	tm := k.TimerAt(50, func() { firedAt = k.Now() })
+	if !tm.Active() {
+		t.Fatal("armed timer not active")
+	}
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 50 {
+		t.Fatalf("fired at %d, want 50", firedAt)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported success")
+	}
+}
+
+func TestTimerStopPreventsFire(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.TimerAt(50, func() { fired = true })
+	k.At(10, func() {
+		if !tm.Stop() {
+			t.Error("in-time Stop reported failure")
+		}
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported success")
+	}
+}
+
+// TestStoppedTimerLeavesNoTrace: a cancelled timer must not advance
+// simulated time — its queue entry is skipped without touching the
+// clock, so arming-and-cancelling is invisible in cycle counts.
+func TestStoppedTimerLeavesNoTrace(t *testing.T) {
+	k := NewKernel()
+	tm := k.TimerAt(1_000_000, func() {})
+	k.At(10, func() { tm.Stop() })
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("clock at %d after run, want 10 (cancelled timer advanced time)", k.Now())
+	}
+}
+
+// TestStoppedTimerPastDeadline: a cancelled timer scheduled beyond the
+// watchdog deadline must not trip it.
+func TestStoppedTimerPastDeadline(t *testing.T) {
+	k := NewKernel()
+	k.SetDeadline(100)
+	tm := k.TimerAt(500, func() {})
+	k.At(10, func() { tm.Stop() })
+	if err := k.Run(nil); err != nil {
+		t.Fatalf("cancelled past-deadline timer tripped the watchdog: %v", err)
+	}
+}
+
+func TestTimerAfter(t *testing.T) {
+	k := NewKernel()
+	var firedAt Time
+	k.At(30, func() {
+		k.TimerAfter(20, func() { firedAt = k.Now() })
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 50 {
+		t.Fatalf("fired at %d, want 50", firedAt)
+	}
+}

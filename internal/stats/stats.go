@@ -57,6 +57,10 @@ type Run struct {
 	// the machine had no fault injector).
 	FaultTotal   uint64
 	FaultSummary string
+
+	// OracleOps is the number of memory operations checked by the
+	// memory-ordering oracle (zero when the oracle was off).
+	OracleOps uint64
 }
 
 // Collect snapshots all counters from a finished machine/runtime pair.
@@ -102,6 +106,9 @@ func Collect(m *machine.Machine, rt *wsrt.RT, app string) *Run {
 	if m.Faults != nil {
 		r.FaultTotal = m.Faults.Total()
 		r.FaultSummary = m.Faults.Summary()
+	}
+	if m.Oracle != nil {
+		r.OracleOps = m.Oracle.Ops
 	}
 	return r
 }

@@ -23,11 +23,14 @@ const (
 	StealHit              // a steal succeeded (arg = task descriptor)
 	StealMiss             // a steal found nothing / was NACKed (arg = victim)
 	Done                  // the program raised the termination flag
+	Offline               // a core fail-stopped (fault injection)
+	Reclaim               // a stranded task was taken from a dead core (arg = task)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"spawn", "exec-start", "exec-end", "steal-try", "steal-hit", "steal-miss", "done",
+	"offline", "reclaim",
 }
 
 // String names the kind.

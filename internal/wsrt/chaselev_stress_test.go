@@ -1,0 +1,103 @@
+package wsrt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bigtiny/internal/cpu"
+	"bigtiny/internal/mem"
+	"bigtiny/internal/prog"
+)
+
+// TestChaseLevRandomInterleavings drives the raw Chase-Lev operations
+// directly — one owner doing a seeded random mix of pushes and pops
+// with random think times, seven thieves stealing with their own random
+// think times — under the deterministic kernel scheduler. Every pushed
+// id is unique, so comparing the multiset of ids in against the
+// multiset out detects both loss and duplication across the
+// owner/thief races (including the CAS fight for the last element).
+func TestChaseLevRandomInterleavings(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaseLevStress(t, seed)
+		})
+	}
+}
+
+func runChaseLevStress(t *testing.T, seed int64) {
+	m := smallMachine(t, "mesi", false)
+	rt := New(m, HW)
+	rt.LockFreeDeque = true
+	d := rt.deques[0]
+
+	const nOps = 400
+	nthreads := rt.nthreads
+	var pushed uint64
+	ownerDone := false
+	taken := make([]map[uint64]int, nthreads) // per-thread ids removed
+
+	m.Spawn(0, func(cc *cpu.Core) {
+		c := &Ctx{rt: rt, env: prog.NewSimEnv(m, cc), tid: 0}
+		rng := rand.New(rand.NewSource(seed))
+		got := map[uint64]int{}
+		taken[0] = got
+		next := uint64(1)
+		for i := 0; i < nOps; i++ {
+			if rng.Intn(3) != 0 { // 2/3 push, 1/3 pop
+				c.clEnq(d, mem.Addr(next))
+				next++
+			} else if task := c.clDeq(d); task != 0 {
+				got[uint64(task)]++
+			}
+			c.env.Compute(1 + rng.Intn(7))
+		}
+		pushed = next - 1
+		ownerDone = true
+	})
+	for th := 1; th < nthreads; th++ {
+		th := th
+		m.Spawn(th, func(cc *cpu.Core) {
+			c := &Ctx{rt: rt, env: prog.NewSimEnv(m, cc), tid: th}
+			rng := rand.New(rand.NewSource(seed*1000 + int64(th)))
+			got := map[uint64]int{}
+			taken[th] = got
+			for {
+				if task := c.clSteal(d); task != 0 {
+					got[uint64(task)]++
+				} else if ownerDone && c.probeEmpty(d) {
+					// head has caught tail and no pushes are coming:
+					// elements only leave by CAS, so empty is final.
+					return
+				}
+				c.env.Compute(1 + rng.Intn(9))
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	all := map[uint64]int{}
+	for _, got := range taken {
+		for id, n := range got {
+			all[id] += n
+		}
+	}
+	for id, n := range all {
+		if id == 0 || id > pushed {
+			t.Errorf("id %d came out but was never pushed", id)
+		}
+		if n != 1 {
+			t.Errorf("id %d came out %d times (duplicated)", id, n)
+		}
+	}
+	for id := uint64(1); id <= pushed; id++ {
+		if all[id] == 0 {
+			t.Errorf("id %d was pushed but never came out (lost)", id)
+		}
+	}
+	if uint64(len(all)) != pushed {
+		t.Errorf("%d distinct ids out, %d pushed", len(all), pushed)
+	}
+}

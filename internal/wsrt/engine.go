@@ -72,23 +72,50 @@ func (c *Ctx) chooseVictim() int {
 	if n == 1 {
 		return c.tid // single-threaded: only the (empty) own deque exists
 	}
+	var v int
 	switch c.rt.Victim {
 	case RoundRobinVictim:
 		for {
 			c.rrNext = (c.rrNext + 1) % n
 			if c.rrNext != c.tid {
-				return c.rrNext
+				v = c.rrNext
+				goto picked
 			}
 		}
 	case StickyVictim:
 		// Retry the last successful victim while it keeps paying off.
 		if c.failStreak == 0 && c.lastVictim != c.tid && c.lastVictim < n {
-			return c.lastVictim
+			v = c.lastVictim
+			goto picked
 		}
 	}
-	v := c.env.Rand().Intn(n - 1)
+	v = c.env.Rand().Intn(n - 1)
 	if v >= c.tid {
 		v++
+	}
+picked:
+	if c.rt.lossy {
+		v = c.avoidQuarantined(v)
+	}
+	return v
+}
+
+// avoidQuarantined redraws a few times when the picked victim is
+// quarantined (persistently failing but not known offline — offline
+// victims must stay choosable so their stranded work gets reclaimed).
+// Bounded redraws keep victim selection cheap and preserve liveness
+// when every victim is quarantined at once.
+func (c *Ctx) avoidQuarantined(v int) int {
+	rt := c.rt
+	n := rt.nthreads
+	for retry := 0; retry < 3; retry++ {
+		if rt.offlineMark[v] || c.env.Now() >= rt.quarUntil[v] {
+			return v
+		}
+		v = c.env.Rand().Intn(n - 1)
+		if v >= c.tid {
+			v++
+		}
 	}
 	return v
 }
@@ -180,6 +207,13 @@ func (c *Ctx) trySteal() mem.Addr {
 	t := c.stealFrom(vid)
 	if t != 0 {
 		c.lastVictim = vid
+		if rt.lossy {
+			rt.vfails[vid] = 0
+			if rt.offlineMark[vid] {
+				rt.Stats.Reclaims++
+				rt.Tracer.Emit(c.env.Now(), c.tid, trace.Reclaim, uint64(t))
+			}
+		}
 	}
 	if rt.Tracer != nil {
 		if t != 0 {
@@ -221,16 +255,24 @@ func (c *Ctx) stealFrom(vid int) mem.Addr {
 		c.lockAcquire(d)
 		c.env.CacheInvalidate()
 		t := c.stealHead(d)
-		c.env.CacheFlush()
+		if !rt.SkipStealFlush {
+			c.env.CacheFlush()
+		}
 		c.lockRelease(d)
 		if t != 0 {
 			rt.Stats.StealHits++
 		}
 		return t
 	case DTS, DTSNoOpt: // Fig 3(c) lines 24-27: uli_send_req + mailbox read
+		if rt.lossy && rt.offlineMark[vid] {
+			// The victim's scheduling loop is dead: its ULI unit only
+			// NACKs. Go in through shared memory instead.
+			return c.reclaimFrom(vid)
+		}
 		payload, ok := c.env.ULISendReq(vid)
 		if !ok {
 			rt.Stats.StealNacks++
+			c.noteVictimFailure(vid)
 			return 0
 		}
 		if payload != 0 {
@@ -239,6 +281,58 @@ func (c *Ctx) stealFrom(vid int) mem.Addr {
 		return mem.Addr(payload)
 	}
 	panic("wsrt: bad variant")
+}
+
+// noteVictimFailure feeds the quarantine: enough consecutive NACKs or
+// timeouts against one victim (across all thieves) and victim selection
+// stops wasting round trips on it for a while.
+func (c *Ctx) noteVictimFailure(vid int) {
+	rt := c.rt
+	if !rt.lossy {
+		return
+	}
+	rt.vfails[vid]++
+	if rt.vfails[vid] >= rt.QuarantineThreshold {
+		rt.quarUntil[vid] = c.env.Now() + rt.QuarantineCycles
+		rt.vfails[vid] = 0
+	}
+}
+
+// reclaimFrom takes stranded work from a fail-stopped victim. The
+// victim's deque is private under DTS, but it lives in shared memory;
+// with the owner dead, reclaimers coordinate among themselves using the
+// deque's lock line (allocated but unused by the DTS variant) and the
+// full HCC steal discipline. Tasks can also be stranded in the dead
+// core's ULI salvage mailbox (an ACK that arrived after its last
+// timeout); those are rescued first via a memory-mapped mailbox read.
+func (c *Ctx) reclaimFrom(vid int) mem.Addr {
+	rt := c.rt
+	if p, ok := rt.M.ULI.Unit(vid).TakeLate(); ok && p != 0 {
+		rt.Stats.StealHits++
+		return mem.Addr(p)
+	}
+	d := rt.deques[vid]
+	c.env.CacheInvalidate()
+	if c.probeEmpty(d) {
+		return 0
+	}
+	c.lockAcquire(d)
+	c.env.CacheInvalidate()
+	t := c.stealHead(d)
+	c.env.CacheFlush()
+	c.lockRelease(d)
+	if t == 0 {
+		return 0
+	}
+	rt.Stats.StealHits++
+	// The dead owner can no longer set its parents' stolen flags from
+	// the inside (the DTS plain-store optimization needs the parent on
+	// the victim's own thread); publish the steal coherently instead.
+	parent := mem.Addr(c.env.Load(t + descParent*8))
+	if parent != 0 {
+		c.env.Amo(parent+descStolen*8, cache.AmoOr, 1, 0)
+	}
+	return t
 }
 
 // uliHandler is the DTS steal handler (Fig 3(c) lines 47-54). It runs
@@ -258,8 +352,61 @@ func (c *Ctx) uliHandler(thief int) uint64 {
 	}
 	// Make everything the victim wrote (task arguments, parent data)
 	// visible before handing the task over.
-	c.env.CacheFlush()
+	if !c.rt.SkipStealFlush {
+		c.env.CacheFlush()
+	}
 	return uint64(t)
+}
+
+// salvageTask takes ownership of a task from a stale steal ACK: the
+// victim handed it over, but this thief had already timed out, so the
+// response register was never read. It is enqueued locally, marked
+// cross-core so the eventual pop runs it with the stolen-task
+// discipline. Runs at Poll under the unit's handling latch (incoming
+// requests are NACKed for its duration).
+func (c *Ctx) salvageTask(t mem.Addr) {
+	rt := c.rt
+	rt.Stats.Salvages++
+	if rec := rt.tasks[t]; rec != nil {
+		rec.crossCore = true
+	}
+	c.enq(rt.deques[c.tid], t)
+}
+
+// restituteTask returns a task this (victim) core handed over in an ACK
+// that was then dropped: the thief never got it, so the victim keeps
+// it. The handler already published the parent's stolen flag — that is
+// only conservative (the parent falls back to AMO-based joining) — and
+// the task's data never left this core, so it re-enters the own deque
+// as an ordinary local task. Runs at Poll under the handling latch.
+func (c *Ctx) restituteTask(t mem.Addr) {
+	c.enq(c.rt.deques[c.tid], t)
+}
+
+// execLocal executes a task popped from the own deque, honouring the
+// cross-core mark salvaged tasks carry.
+func (c *Ctx) execLocal(t mem.Addr) {
+	if rec := c.rt.tasks[t]; rec != nil && rec.crossCore {
+		rec.crossCore = false
+		c.executeTask(t, true)
+		return
+	}
+	c.executeTask(t, false)
+}
+
+// enterOffline performs the fail-stop transition: flush dirty state (a
+// controlled shutdown — results of tasks this core already executed
+// stay visible), mark the core dead for thieves, and record when
+// degraded mode began.
+func (c *Ctx) enterOffline() {
+	rt := c.rt
+	c.env.CacheFlush()
+	rt.offlineMark[c.tid] = true
+	rt.Stats.OfflineCores++
+	if rt.degradedSince == 0 {
+		rt.degradedSince = c.env.Now()
+	}
+	rt.Tracer.Emit(c.env.Now(), c.tid, trace.Offline, 0)
 }
 
 // --- task execution and joining ---
@@ -353,7 +500,7 @@ func (c *Ctx) wait(p mem.Addr) {
 	for c.readRC(p) > 0 {
 		c.env.Compute(c.rt.Costs.WaitIter)
 		if t := c.popLocal(); t != 0 {
-			c.executeTask(t, false)
+			c.execLocal(t)
 			continue
 		}
 		if t := c.trySteal(); t != 0 {
@@ -383,11 +530,19 @@ func (c *Ctx) workerLoop() {
 	rt := c.rt
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
 	for iter := uint64(0); ; iter++ {
+		// Fail-stop check at the scheduling-loop boundary: the core dies
+		// between tasks, never mid-task (its current task's nested joins
+		// must complete or the program could never finish). The check
+		// reads a Go-side latch and costs no simulated cycles.
+		if c.env.Offline() {
+			c.enterOffline()
+			return
+		}
 		if c.checkDone(iter) {
 			return
 		}
 		if t := c.popLocal(); t != 0 {
-			c.executeTask(t, false)
+			c.execLocal(t)
 			continue
 		}
 		if t := c.trySteal(); t != 0 {
@@ -439,6 +594,12 @@ func (c *Ctx) idleBackoff() {
 		n = costs.IdleBackoffCap
 	} else if c.failStreak < costs.IdleBackoffShift {
 		c.failStreak++
+	}
+	if c.rt.lossy && n > 1 {
+		// Under loss, retries of many thieves against few live victims
+		// tend to synchronize (they all timed out together); jitter the
+		// backoff to spread the retry storm.
+		n += c.env.Rand().Intn(n)
 	}
 	// Spin in short chunks: every Compute boundary is an interrupt
 	// point, so a backing-off worker still services incoming ULI steal

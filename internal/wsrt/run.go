@@ -16,15 +16,23 @@ import (
 // threads").
 func (rt *RT) Run(root Body) error {
 	n := rt.nthreads
+	if sc := rt.M.Faults.Scenario(); sc.Lossy() {
+		rt.lossy = true
+	}
 	for core := 0; core < n; core++ {
 		core := core
 		rt.M.Spawn(core, func(cc *cpu.Core) {
 			env := prog.NewSimEnv(rt.M, cc)
 			c := &Ctx{rt: rt, env: env, tid: core}
 			if rt.Variant == DTS || rt.Variant == DTSNoOpt {
-				rt.M.ULI.Unit(core).SetHandler(func(thief int) uint64 {
+				unit := rt.M.ULI.Unit(core)
+				unit.SetHandler(func(thief int) uint64 {
 					return c.uliHandler(thief)
 				})
+				// Loss-recovery hooks: only invoked when steal-path
+				// messages actually get dropped or time out.
+				unit.SetSalvage(func(p uint64) { c.salvageTask(mem.Addr(p)) })
+				unit.SetRestitute(func(p uint64) { c.restituteTask(mem.Addr(p)) })
 				env.ULIEnable()
 			}
 			if core == 0 {
@@ -37,7 +45,11 @@ func (rt *RT) Run(root Body) error {
 			}
 		})
 	}
-	return rt.M.Run()
+	err := rt.M.Run()
+	if rt.degradedSince > 0 {
+		rt.Stats.DegradedCycles = uint64(rt.M.Kernel.Now() - rt.degradedSince)
+	}
+	return err
 }
 
 // runMain executes the root task directly on the main thread.

@@ -8,6 +8,7 @@ import (
 	"bigtiny/internal/machine"
 	"bigtiny/internal/mem"
 	"bigtiny/internal/prog"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/trace"
 )
 
@@ -179,6 +180,38 @@ type RT struct {
 	// lock-delimited invalidate/flush windows, and DTS queues are
 	// private and need no synchronization at all.
 	LockFreeDeque bool
+
+	// --- recovery state (lossy fault scenarios) ---
+
+	// lossy is set by Run when the machine's fault scenario can lose
+	// steal-path messages or offline a core. It gates every recovery
+	// code path, so fault-free runs draw no extra PRNG values and burn
+	// no extra cycles (zero-cost-when-off).
+	lossy bool
+	// offlineMark[t] is set by thread t itself when it fail-stops.
+	// Reading it is free for thieves — modelling a memory-mapped core
+	// liveness register that costs nothing to consult.
+	offlineMark []bool
+	// vfails[v] counts consecutive failed steals (NACKs/timeouts)
+	// against victim v across all thieves; reaching QuarantineThreshold
+	// quarantines v until quarUntil[v].
+	vfails    []int
+	quarUntil []sim.Time
+	// degradedSince is the cycle of the first core loss (0 = none).
+	degradedSince sim.Time
+
+	// QuarantineThreshold is the consecutive-failure count that
+	// quarantines a victim; QuarantineCycles is how long the quarantine
+	// lasts. Quarantined victims are skipped by victim selection unless
+	// they are known offline (those must stay choosable so their
+	// stranded work gets reclaimed).
+	QuarantineThreshold int
+	QuarantineCycles    sim.Time
+
+	// SkipStealFlush omits the cache_flush in the steal hand-off paths
+	// (the DTS handler and the HCC steal). Test-only: it plants the
+	// protocol bug the memory-ordering oracle must catch.
+	SkipStealFlush bool
 }
 
 // New builds a runtime for m. HW and HCC run on any machine; DTS
@@ -195,6 +228,12 @@ func New(m *machine.Machine, v Variant) *RT {
 		funcs: make([]FuncInfo, fidFirst),
 		Grain: 32,
 		Costs: DefaultCosts(),
+
+		offlineMark:         make([]bool, n),
+		vfails:              make([]int, n),
+		quarUntil:           make([]sim.Time, n),
+		QuarantineThreshold: 16,
+		QuarantineCycles:    20_000,
 	}
 	rt.funcs[fidRuntime] = FuncInfo{Name: "runtime", Footprint: 2048}
 	rt.doneAddr = m.Mem.AllocWords(1)
@@ -212,6 +251,11 @@ func (rt *RT) dumpState(w io.Writer) {
 	fmt.Fprintf(w, "wsrt: variant=%s spawns=%d steals=%d/%d nacks=%d done=%d\n",
 		rt.Variant, rt.Stats.Spawns, rt.Stats.StealHits, rt.Stats.StealTries,
 		rt.Stats.StealNacks, rt.M.Cache.DebugReadWord(rt.doneAddr))
+	for t, off := range rt.offlineMark {
+		if off {
+			fmt.Fprintf(w, "  thread %d: OFFLINE (reclaims so far: %d)\n", t, rt.Stats.Reclaims)
+		}
+	}
 	for t, d := range rt.deques {
 		head := rt.M.Cache.DebugReadWord(d.headAddr())
 		tail := rt.M.Cache.DebugReadWord(d.tailAddr())

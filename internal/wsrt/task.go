@@ -38,6 +38,11 @@ type Body func(c *Ctx)
 type taskRec struct {
 	body Body
 	fid  int
+	// crossCore marks a task that sits in this core's own deque but was
+	// produced on another core (salvaged from a stale steal ACK): a
+	// local pop must still execute it with the stolen-task coherence
+	// discipline (invalidate before, flush after, AMO join).
+	crossCore bool
 }
 
 // FuncInfo describes a registered task function for the I-cache model.
@@ -54,12 +59,23 @@ type RunStats struct {
 	StealTries uint64
 	StealHits  uint64
 	StealNacks uint64 // DTS only
+
+	// Recovery events (lossy fault scenarios only).
+	OfflineCores   uint64 // cores that fail-stopped mid-run
+	Reclaims       uint64 // stranded tasks taken from dead cores
+	Salvages       uint64 // tasks recovered from stale steal ACKs
+	DegradedCycles uint64 // cycles from the first core loss to the end of the run
 }
 
 // String formats the stats compactly.
 func (s RunStats) String() string {
-	return fmt.Sprintf("spawns=%d local=%d stolen=%d tries=%d hits=%d nacks=%d",
+	out := fmt.Sprintf("spawns=%d local=%d stolen=%d tries=%d hits=%d nacks=%d",
 		s.Spawns, s.LocalExecs, s.StolenExec, s.StealTries, s.StealHits, s.StealNacks)
+	if s.OfflineCores > 0 || s.Reclaims > 0 || s.Salvages > 0 {
+		out += fmt.Sprintf(" offline=%d reclaims=%d salvages=%d degraded-cycles=%d",
+			s.OfflineCores, s.Reclaims, s.Salvages, s.DegradedCycles)
+	}
+	return out
 }
 
 // dequeCapacity is the per-thread task queue capacity (entries).
