@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race chaos-smoke chaos-lossy-smoke oracle-smoke
+.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke
 
 all: ci
 
-ci: vet build test race chaos-smoke chaos-lossy-smoke oracle-smoke
+ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,9 +19,18 @@ test:
 
 # The simulator itself is single-goroutine-at-a-time by construction;
 # the race detector earns its keep on the packages with real
-# concurrency (the native wsrt executor) and on pure-Go helpers.
+# concurrency: the native wsrt executor, pure-Go helpers, and the
+# host-parallel bench layer (singleflight caches, Prewarm worker pool,
+# and the parallel-vs-serial determinism tests).
 race:
-	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt
+	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/bench/...
+
+# Host-parallel determinism gate: fan a target subset out over 4
+# workers; the render pass reads only the warmed cache, so this passing
+# plus the bench determinism tests means -j cannot change any result
+# (see EXPERIMENTS.md "Host-parallel runs").
+parallel-smoke:
+	$(GO) run ./cmd/paperbench -size test -apps cilk5-cs,ligra-bfs -j 4 table4 fig6 uli
 
 # A fast end-to-end chaos pass: two apps under every stock scenario on
 # the 8-core chaos machine, output verified against the serial

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	paperbench [-size test|ref|big] [-apps a,b,c] [-faults s1,s2] [-v] [targets...]
+//	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-faults s1,s2]
+//	           [-fault-seed N] [-v] [targets...]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
 // chaos all (default: all except table5, which simulates a 256-core
@@ -11,6 +12,12 @@
 // every selected app under each fault-injection scenario on a small
 // DTS machine and checks the outputs still match the serial reference;
 // it always uses test-size inputs regardless of -size.
+//
+// The 143 simulations behind the full evaluation are independent, so
+// paperbench fans them out over -j host workers (default: all host
+// cores) before rendering; tables and figures are always rendered
+// serially from the warmed cache, so the output is byte-identical at
+// any -j.
 package main
 
 import (
@@ -27,11 +34,13 @@ import (
 func main() {
 	size := flag.String("size", "ref", "input size: test, ref, or big")
 	appList := flag.String("apps", "", "comma-separated app subset (default: all 13)")
+	jobs := flag.Int("j", 0, "host workers for the simulation fan-out (0 = all host cores, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	noVerify := flag.Bool("no-verify", false, "skip output verification after each run")
 	jsonOut := flag.String("json", "", "also dump all collected metrics as JSON to this file")
 	faultList := flag.String("faults", "",
 		"comma-separated fault scenarios for the chaos target (default: the built-in sweep set)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed for the chaos target")
 	flag.Parse()
 
 	var chaosScenarios []string
@@ -83,10 +92,42 @@ func main() {
 		targets = []string{"table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "uli", "energy"}
 	}
 
+	// -faults and -fault-seed only affect the chaos target; flag them
+	// loudly when they would otherwise be silently ignored.
+	chaosSelected := false
+	for _, t := range targets {
+		if t == "chaos" {
+			chaosSelected = true
+		}
+	}
+	if !chaosSelected {
+		if *faultList != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: warning: -faults only affects the chaos target, which is not selected; ignoring it")
+		}
+		if *faultSeed != 1 {
+			fmt.Fprintln(os.Stderr, "paperbench: warning: -fault-seed only affects the chaos target, which is not selected; ignoring it")
+		}
+	}
+
 	s := bench.NewSuite(sz)
 	s.Verify = !*noVerify
 	if *verbose {
 		s.Progress = os.Stderr
+	}
+
+	// Collect every selected target's worklist and warm the suite's
+	// caches over the host worker pool; the render loop below then
+	// draws from the cache in fixed order. Prewarm errors are not fatal
+	// here — the owning target re-encounters them serially and reports
+	// them with its usual context.
+	var work []bench.Work
+	for _, t := range targets {
+		if wl, ok := s.TargetWork(t, names); ok {
+			work = append(work, wl...)
+		}
+	}
+	if err := s.Prewarm(work, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: warning:", err)
 	}
 
 	out := os.Stdout
@@ -114,7 +155,7 @@ func main() {
 		case "energy":
 			err = s.EnergyReport(out, names)
 		case "chaos":
-			err = bench.Chaos(out, names, chaosScenarios, 1)
+			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, *jobs)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}

@@ -2,12 +2,21 @@
 // kernels across the simulated configurations and regenerates every
 // table and figure in the paper's evaluation (Tables III-V, Figures
 // 4-8, the §VI-C ULI overhead report, and the energy comparison).
+//
+// The suite is safe for concurrent use: Run and View serialize access
+// to the result caches and deduplicate in-flight simulations, so a
+// host-parallel driver (Prewarm, the parallel Chaos sweep, or plain
+// goroutines) can fan independent simulations out across host cores
+// while every caller of the same (config, app) pair shares one run.
+// Each simulation is fully contained in its own machine.New/wsrt.New
+// instance; results are bit-identical regardless of host parallelism.
 package bench
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"bigtiny/internal/apps"
 	"bigtiny/internal/cilkview"
@@ -21,7 +30,10 @@ import (
 )
 
 // Suite runs (config, app) pairs on demand and caches the results so
-// several tables/figures can share one set of simulations.
+// several tables/figures can share one set of simulations. The
+// configuration fields must be set before the first Run/View call and
+// left alone afterwards; the methods may then be called from any
+// number of goroutines.
 type Suite struct {
 	// Size selects input scale for all runs.
 	Size apps.Size
@@ -29,10 +41,13 @@ type Suite struct {
 	Grain int
 	// Verify (default true via NewSuite) checks outputs after every run.
 	Verify bool
-	// Progress, if non-nil, receives one line per completed run.
+	// Progress, if non-nil, receives one line per completed run. Lines
+	// are written atomically (whole lines, never interleaved) but their
+	// order depends on host scheduling when runs execute in parallel.
 	Progress io.Writer
 	// Tracer, if non-nil, records scheduler events for each run
-	// (intended for single-run use via cmd/btsim -trace).
+	// (intended for single-run use via cmd/btsim -trace; do not combine
+	// with parallel Prewarm).
 	Tracer *trace.Recorder
 	// FaultScenario, when non-empty, names a fault-injection scenario
 	// (fault.Lookup) applied to every run, seeded with FaultSeed.
@@ -42,17 +57,42 @@ type Suite struct {
 	// (internal/oracle); a violation fails the run.
 	Oracle bool
 
+	// mu guards the caches and in-flight tables below. Simulations run
+	// outside the lock; flight entries make concurrent callers of the
+	// same key share one simulation (singleflight).
+	mu      sync.Mutex
 	results map[string]*stats.Run
 	views   map[string]cilkview.Report
+	flight  map[string]*flightCall
+	// subs memoizes the derived suites Table5/Fig4 need (same settings,
+	// different size or grain) so Prewarm and the serial render pass
+	// warm and read the same caches.
+	subs map[string]*Suite
+
+	// progressMu serializes Progress writes; set by NewSuite and shared
+	// with derived suites so parallel runs never interleave lines.
+	progressMu *sync.Mutex
+}
+
+// flightCall is one in-flight simulation or analysis; waiters block on
+// done and then read the result fields.
+type flightCall struct {
+	done chan struct{}
+	run  *stats.Run
+	view cilkview.Report
+	err  error
 }
 
 // NewSuite returns a verifying suite at the given size.
 func NewSuite(size apps.Size) *Suite {
 	return &Suite{
-		Size:    size,
-		Verify:  true,
-		results: make(map[string]*stats.Run),
-		views:   make(map[string]cilkview.Report),
+		Size:       size,
+		Verify:     true,
+		results:    make(map[string]*stats.Run),
+		views:      make(map[string]cilkview.Report),
+		flight:     make(map[string]*flightCall),
+		subs:       make(map[string]*Suite),
+		progressMu: &sync.Mutex{},
 	}
 }
 
@@ -66,10 +106,33 @@ var (
 	Table5Apps = []string{"cilk5-cs", "ligra-bc", "ligra-bfs", "ligra-cc", "ligra-tc"}
 )
 
-// Run simulates app on the named machine configuration (cached).
-// The "IOx1" configuration runs the app's serial variant — it is the
-// paper's "Serial IO" baseline.
-func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
+// at returns the suite whose Size/Grain match the arguments: s itself
+// when they equal s's own, otherwise a derived suite memoized on s
+// (created with the same Verify/Progress settings and sharing s's
+// progress lock). Table5 and Fig4 render through it, and Prewarm
+// resolves Work items through it, so both hit the same caches.
+func (s *Suite) at(size apps.Size, grain int) *Suite {
+	if size == s.Size && grain == s.Grain {
+		return s
+	}
+	key := fmt.Sprintf("%d|%d", size, grain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[key]; ok {
+		return sub
+	}
+	sub := NewSuite(size)
+	sub.Grain = grain
+	sub.Verify = s.Verify
+	sub.Progress = s.Progress
+	sub.progressMu = s.progressMu
+	s.subs[key] = sub
+	return sub
+}
+
+// runKey is the result-cache key for one (config, app) pair under the
+// suite's fault/oracle settings.
+func (s *Suite) runKey(cfgName, appName string) string {
 	key := cfgName + "|" + appName
 	if s.FaultScenario != "" {
 		key = fmt.Sprintf("%s|%s|%d", key, s.FaultScenario, s.FaultSeed)
@@ -77,9 +140,45 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 	if s.Oracle {
 		key += "|oracle"
 	}
+	return key
+}
+
+// Run simulates app on the named machine configuration (cached).
+// The "IOx1" configuration runs the app's serial variant — it is the
+// paper's "Serial IO" baseline. Concurrent callers of the same pair
+// share a single simulation.
+func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
+	key := "run:" + s.runKey(cfgName, appName)
+	s.mu.Lock()
 	if r, ok := s.results[key]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.run, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	c.run, c.err = s.simulate(cfgName, appName)
+
+	s.mu.Lock()
+	if c.err == nil {
+		s.results[key] = c.run
+	}
+	delete(s.flight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.run, c.err
+}
+
+// simulate performs one full simulation, uncached and lock-free: every
+// run builds its own machine and runtime, so concurrent simulations
+// share no mutable state.
+func (s *Suite) simulate(cfgName, appName string) (*stats.Run, error) {
 	cfg, err := machine.Lookup(cfgName)
 	if err != nil {
 		return nil, err
@@ -116,30 +215,56 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 		}
 	}
 	r := stats.Collect(m, rt, appName)
-	s.results[key] = r
-	if s.Progress != nil {
-		fmt.Fprintf(s.Progress, "ran %-14s on %-16s: %12d cycles\n", appName, cfgName, r.Cycles)
-	}
+	s.progress("ran %-14s on %-16s: %12d cycles\n", appName, cfgName, r.Cycles)
 	return r, nil
 }
 
+// progress writes one whole progress line under the shared lock.
+func (s *Suite) progress(format string, args ...any) {
+	if s.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	fmt.Fprintf(s.Progress, format, args...)
+	s.progressMu.Unlock()
+}
+
 // View returns the Cilkview analysis for app at the suite's size and
-// grain (cached).
+// grain (cached). Concurrent callers of the same app share a single
+// analysis.
 func (s *Suite) View(appName string) (cilkview.Report, error) {
-	key := fmt.Sprintf("%s|%d|%d", appName, s.Size, s.Grain)
+	key := fmt.Sprintf("view:%s|%d|%d", appName, s.Size, s.Grain)
+	s.mu.Lock()
 	if v, ok := s.views[key]; ok {
+		s.mu.Unlock()
 		return v, nil
 	}
-	app, err := apps.ByName(appName)
-	if err != nil {
-		return cilkview.Report{}, err
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.view, c.err
 	}
-	v := cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
-		rt.Grain = grainFor(app, s.Grain)
-		return app.Setup(rt, s.Size, s.Grain).Root
-	})
-	s.views[key] = v
-	return v, nil
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	app, err := apps.ByName(appName)
+	if err == nil {
+		c.view = cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
+			rt.Grain = grainFor(app, s.Grain)
+			return app.Setup(rt, s.Size, s.Grain).Root
+		})
+	}
+	c.err = err
+
+	s.mu.Lock()
+	if c.err == nil {
+		s.views[key] = c.view
+	}
+	delete(s.flight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.view, c.err
 }
 
 // Energy returns the energy proxy for a cached or new run.

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"bigtiny/internal/apps"
 	"bigtiny/internal/fault"
@@ -93,6 +95,17 @@ func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
 	return res, nil
 }
 
+// slowdownStr formats the cycle inflation of a chaos run over its
+// fault-free baseline. Degenerate baselines (e.g. Empty-size inputs)
+// can finish in zero cycles; a ratio is meaningless there, so it
+// prints "n/a" instead of +Inf/NaN.
+func slowdownStr(base, cycles sim.Time) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%8.2fx", float64(cycles)/float64(base))
+}
+
 // ChaosScenarios is the default scenario set for chaos sweeps. The
 // lossy scenarios exercise the recovery layer: dropped steal messages,
 // steal timeouts/retries, and mid-run core loss with reclamation.
@@ -101,31 +114,70 @@ var ChaosScenarios = []string{
 	"lossy-uli", "core-loss", "chaos-lossy-all",
 }
 
+// chaosJob is one (app, scenario) cell of the chaos table.
+type chaosJob struct {
+	res *ChaosResult
+	err error
+}
+
 // Chaos runs every app under every named scenario (ChaosScenarios when
 // scenarios is nil) and writes a per-run table: cycles, fault count,
 // and the cycle inflation versus the fault-free run of the same app.
-func Chaos(w io.Writer, appNames, scenarios []string, seed uint64) error {
+// Runs fan out over a bounded pool of jobs host workers (jobs <= 0
+// means runtime.NumCPU()); each run is an independent simulation, so
+// the table is identical at any jobs count. The table itself is
+// rendered serially, in fixed (app, scenario) order, after all runs
+// finish.
+func Chaos(w io.Writer, appNames, scenarios []string, seed uint64, jobs int) error {
 	if scenarios == nil {
 		scenarios = ChaosScenarios
 	}
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+
+	// Flatten the (app, scenario) grid — "none" baselines first-per-app —
+	// and run every cell through the worker pool.
+	type cell struct{ app, scenario string }
+	var cells []cell
+	for _, appName := range appNames {
+		cells = append(cells, cell{appName, "none"})
+		for _, scName := range scenarios {
+			cells = append(cells, cell{appName, scName})
+		}
+	}
+	results := make([]chaosJob, len(cells))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := RunChaos(c.app, c.scenario, seed)
+			results[i] = chaosJob{r, err}
+		}(i, c)
+	}
+	wg.Wait()
+
 	fmt.Fprintf(w, "Chaos invariance (config %s, size test, seed %d)\n", ChaosConfig, seed)
 	fmt.Fprintf(w, "%-14s %-16s %12s %8s %9s\n", "app", "scenario", "cycles", "faults", "slowdown")
-	for _, appName := range appNames {
-		base, err := RunChaos(appName, "none", seed)
-		if err != nil {
-			return err
+	var base *ChaosResult
+	for i, c := range cells {
+		j := results[i]
+		if j.err != nil {
+			return j.err
+		}
+		if c.scenario == "none" {
+			base = j.res
+			fmt.Fprintf(w, "%-14s %-16s %12d %8d %9s\n",
+				c.app, "none", base.Cycles, base.Faults, "1.00x")
+			continue
 		}
 		fmt.Fprintf(w, "%-14s %-16s %12d %8d %9s\n",
-			appName, "none", base.Cycles, base.Faults, "1.00x")
-		for _, scName := range scenarios {
-			r, err := RunChaos(appName, scName, seed)
-			if err != nil {
-				return err
-			}
-			slow := float64(r.Cycles) / float64(base.Cycles)
-			fmt.Fprintf(w, "%-14s %-16s %12d %8d %8.2fx\n",
-				appName, scName, r.Cycles, r.Faults, slow)
-		}
+			c.app, c.scenario, j.res.Cycles, j.res.Faults,
+			slowdownStr(base.Cycles, j.res.Cycles))
 	}
 	return nil
 }

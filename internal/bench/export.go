@@ -41,14 +41,35 @@ type RunJSON struct {
 	DRAMReads  uint64 `json:"dram_reads"`
 	DRAMWrites uint64 `json:"dram_writes"`
 
-	ULIReqs       uint64  `json:"uli_reqs,omitempty"`
-	ULIAcks       uint64  `json:"uli_acks,omitempty"`
-	ULINacks      uint64  `json:"uli_nacks,omitempty"`
-	ULIAvgLatency float64 `json:"uli_avg_latency,omitempty"`
+	// ULI protocol accounting. Every request terminates in exactly one
+	// of Acks, Nacks, or Drops (Reqs == Acks + Nacks + Drops); Timeouts,
+	// LateAcks, and Restitutions count recovery events that overlap the
+	// three terminal outcomes.
+	ULIReqs         uint64  `json:"uli_reqs,omitempty"`
+	ULIAcks         uint64  `json:"uli_acks,omitempty"`
+	ULINacks        uint64  `json:"uli_nacks,omitempty"`
+	ULIDrops        uint64  `json:"uli_drops,omitempty"`
+	ULITimeouts     uint64  `json:"uli_timeouts,omitempty"`
+	ULILateAcks     uint64  `json:"uli_late_acks,omitempty"`
+	ULIRestitutions uint64  `json:"uli_restitutions,omitempty"`
+	ULIAvgLatency   float64 `json:"uli_avg_latency,omitempty"`
 
 	Spawns     uint64 `json:"spawns"`
 	StealHits  uint64 `json:"steal_hits"`
 	StealTries uint64 `json:"steal_tries"`
+
+	// Runtime recovery counters (nonzero only under lossy fault
+	// scenarios).
+	OfflineCores   uint64 `json:"offline_cores,omitempty"`
+	Reclaims       uint64 `json:"reclaims,omitempty"`
+	Salvages       uint64 `json:"salvages,omitempty"`
+	DegradedCycles uint64 `json:"degraded_cycles,omitempty"`
+
+	// Fault-injection and oracle context for the run.
+	FaultScenario string `json:"fault_scenario,omitempty"`
+	FaultSeed     uint64 `json:"fault_seed,omitempty"`
+	FaultTotal    uint64 `json:"fault_total,omitempty"`
+	OracleOps     uint64 `json:"oracle_ops,omitempty"`
 
 	EnergyUJ float64 `json:"energy_uj"`
 }
@@ -68,7 +89,15 @@ func (s *Suite) toJSON(r *stats.Run) RunJSON {
 		AvgHops:      r.AvgHops,
 		DRAMReads:    r.DRAMReads, DRAMWrites: r.DRAMWrites,
 		Spawns: r.RT.Spawns, StealHits: r.RT.StealHits, StealTries: r.RT.StealTries,
-		EnergyUJ: energy.DefaultModel().Estimate(r),
+		OfflineCores: r.RT.OfflineCores, Reclaims: r.RT.Reclaims,
+		Salvages: r.RT.Salvages, DegradedCycles: r.RT.DegradedCycles,
+		FaultTotal: r.FaultTotal,
+		OracleOps:  r.OracleOps,
+		EnergyUJ:   energy.DefaultModel().Estimate(r),
+	}
+	if r.FaultTotal > 0 || s.FaultScenario != "" {
+		j.FaultScenario = s.FaultScenario
+		j.FaultSeed = s.FaultSeed
 	}
 	for cls := 0; cls < int(cpu.NumClasses); cls++ {
 		j.TinyBreakdown[cpu.Class(cls).String()] = r.TinyBreakdown[cls]
@@ -79,6 +108,8 @@ func (s *Suite) toJSON(r *stats.Run) RunJSON {
 	}
 	if r.ULI != nil {
 		j.ULIReqs, j.ULIAcks, j.ULINacks = r.ULI.Reqs, r.ULI.Acks, r.ULI.Nacks
+		j.ULIDrops, j.ULITimeouts = r.ULI.Drops, r.ULI.Timeouts
+		j.ULILateAcks, j.ULIRestitutions = r.ULI.LateAcks, r.ULI.Restitutions
 		j.ULIAvgLatency = r.ULIAvgLatency
 	}
 	return j
@@ -88,6 +119,7 @@ func (s *Suite) toJSON(r *stats.Run) RunJSON {
 // app) as a JSON array. Run the desired tables/figures first; this
 // exports whatever they simulated.
 func (s *Suite) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
 	keys := make([]string, 0, len(s.results))
 	for k := range s.results {
 		keys = append(keys, k)
@@ -97,6 +129,7 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 	for _, k := range keys {
 		out = append(out, s.toJSON(s.results[k]))
 	}
+	s.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"bigtiny/internal/apps"
+)
+
+// countingWriter counts progress lines; Suite serializes writes, but
+// the counter is still guarded so the test itself is race-clean even
+// if that guarantee regresses.
+type countingWriter struct {
+	mu    sync.Mutex
+	lines int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.lines += strings.Count(string(p), "\n")
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+// detWork is the worklist the determinism tests warm: a cross-section
+// of baselines, HCC, and DTS configs over both app families, plus a
+// Cilkview analysis and an off-default grain (exercising the derived
+// sub-suite path).
+func detWork(s *Suite) []Work {
+	var work []Work
+	for _, app := range []string{"cilk5-mt", "ligra-bfs"} {
+		work = append(work, s.viewWork(app))
+		for _, cfg := range []string{"IOx1", "bT/MESI", "bT/HCC-gwb", "bT/HCC-DTS-gwb"} {
+			work = append(work, s.runWork(cfg, app))
+		}
+	}
+	work = append(work, Work{Cfg: "tiny64", App: "ligra-tc", Size: s.Size, Grain: 8})
+	work = append(work, Work{App: "ligra-tc", Size: s.Size, Grain: 8, View: true})
+	return work
+}
+
+// snapshot flattens a suite's caches (including derived sub-suites)
+// into comparable maps.
+func snapshot(s *Suite) (runs map[string]interface{}, views map[string]interface{}) {
+	runs = map[string]interface{}{}
+	views = map[string]interface{}{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.results {
+		runs[k] = *v
+	}
+	for k, v := range s.views {
+		views[k] = v
+	}
+	for name, sub := range s.subs {
+		sr, sv := snapshot(sub)
+		for k, v := range sr {
+			runs[name+"/"+k] = v
+		}
+		for k, v := range sv {
+			views[name+"/"+k] = v
+		}
+	}
+	return runs, views
+}
+
+// TestParallelMatchesSerial is the determinism proof for the
+// host-parallel runner: warming the same worklist at -j 1 and at -j 8
+// must leave bit-identical stats.Run snapshots for every (config, app)
+// pair. Each simulation is fully contained in its machine.New/wsrt.New
+// instance, so host scheduling must not be able to perturb results.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	serial := NewSuite(apps.Test)
+	if err := serial.Prewarm(detWork(serial), 1); err != nil {
+		t.Fatal(err)
+	}
+	par := NewSuite(apps.Test)
+	if err := par.Prewarm(detWork(par), 8); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, sv := snapshot(serial)
+	pr, pv := snapshot(par)
+	if len(sr) == 0 || len(sv) == 0 {
+		t.Fatalf("empty snapshot: %d runs, %d views", len(sr), len(sv))
+	}
+	if len(sr) != len(pr) || len(sv) != len(pv) {
+		t.Fatalf("cache shapes differ: serial %d runs/%d views, parallel %d runs/%d views",
+			len(sr), len(sv), len(pr), len(pv))
+	}
+	for k, v := range sr {
+		pvval, ok := pr[k]
+		if !ok {
+			t.Errorf("parallel run missing key %q", k)
+			continue
+		}
+		if !reflect.DeepEqual(v, pvval) {
+			t.Errorf("run %q diverged between -j 1 and -j 8:\nserial:   %+v\nparallel: %+v", k, v, pvval)
+		}
+	}
+	for k, v := range sv {
+		if !reflect.DeepEqual(v, pv[k]) {
+			t.Errorf("view %q diverged between -j 1 and -j 8", k)
+		}
+	}
+}
+
+// TestRunSingleflight: concurrent callers of the same (config, app)
+// pair must share exactly one simulation and receive the same cached
+// result pointer.
+func TestRunSingleflight(t *testing.T) {
+	s := NewSuite(apps.Test)
+	var cw countingWriter
+	s.Progress = &cw
+
+	const callers = 8
+	runs := make([]interface{}, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Run("bT/HCC-gwb", "cilk5-mt")
+			runs[i], errs[i] = r, err
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if runs[i] != runs[0] {
+			t.Fatalf("caller %d got a different *stats.Run than caller 0", i)
+		}
+	}
+	cw.mu.Lock()
+	lines := cw.lines
+	cw.mu.Unlock()
+	if lines != 1 {
+		t.Fatalf("%d simulations ran for one (config, app) pair, want 1", lines)
+	}
+}
+
+// TestViewSingleflight: same for concurrent Cilkview analyses.
+func TestViewSingleflight(t *testing.T) {
+	s := NewSuite(apps.Test)
+	const callers = 8
+	reports := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.View("cilk5-mt")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if !reflect.DeepEqual(reports[i], reports[0]) {
+			t.Fatalf("caller %d got a different report", i)
+		}
+	}
+}
+
+// TestPrewarmThenRenderIsCached: a render pass after Prewarm must do
+// zero additional simulations.
+func TestPrewarmThenRenderIsCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSuite(apps.Test)
+	appNames := []string{"cilk5-mt"}
+	var cw countingWriter
+	s.Progress = &cw
+	if err := s.Prewarm(s.Table4Work(appNames), 4); err != nil {
+		t.Fatal(err)
+	}
+	cw.mu.Lock()
+	warmed := cw.lines
+	cw.mu.Unlock()
+	if warmed != 6 {
+		t.Fatalf("prewarm ran %d simulations, want 6", warmed)
+	}
+	var sb strings.Builder
+	if err := s.Table4(&sb, appNames); err != nil {
+		t.Fatal(err)
+	}
+	cw.mu.Lock()
+	after := cw.lines
+	cw.mu.Unlock()
+	if after != warmed {
+		t.Fatalf("render after prewarm ran %d extra simulations", after-warmed)
+	}
+	if !strings.Contains(sb.String(), "cilk5-mt") {
+		t.Fatalf("table missing app row:\n%s", sb.String())
+	}
+}
+
+// TestPrewarmDedupsWork: duplicate work items collapse to one run.
+func TestPrewarmDedupsWork(t *testing.T) {
+	s := NewSuite(apps.Test)
+	var cw countingWriter
+	s.Progress = &cw
+	w := s.runWork("bT/MESI", "cilk5-mt")
+	if err := s.Prewarm([]Work{w, w, w, w}, 4); err != nil {
+		t.Fatal(err)
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.lines != 1 {
+		t.Fatalf("%d simulations for 4 copies of one work item, want 1", cw.lines)
+	}
+}
+
+// TestPrewarmReportsErrors: a bad work item surfaces as Prewarm's
+// return value without poisoning the rest of the warm.
+func TestPrewarmReportsErrors(t *testing.T) {
+	s := NewSuite(apps.Test)
+	work := []Work{
+		s.runWork("no-such-config", "cilk5-mt"),
+		s.runWork("bT/MESI", "cilk5-mt"),
+	}
+	if err := s.Prewarm(work, 2); err == nil {
+		t.Fatal("Prewarm swallowed the bad-config error")
+	}
+	// The good item must still be warm.
+	var cw countingWriter
+	s.Progress = &cw
+	if _, err := s.Run("bT/MESI", "cilk5-mt"); err != nil {
+		t.Fatal(err)
+	}
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.lines != 0 {
+		t.Fatal("good work item was not warmed")
+	}
+}
+
+// TestTargetWorkCoversTargets: every paperbench render target except
+// chaos declares a worklist.
+func TestTargetWorkCoversTargets(t *testing.T) {
+	s := NewSuite(apps.Test)
+	for _, target := range []string{
+		"table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "uli", "energy",
+	} {
+		work, ok := s.TargetWork(target, []string{"cilk5-mt"})
+		if !ok || len(work) == 0 {
+			t.Errorf("target %q has no worklist", target)
+		}
+	}
+	if _, ok := s.TargetWork("chaos", nil); ok {
+		t.Error("chaos target unexpectedly declares a worklist")
+	}
+	if _, ok := s.TargetWork("nonesuch", nil); ok {
+		t.Error("unknown target accepted")
+	}
+}

@@ -142,9 +142,7 @@ func (s *Suite) Table4(w io.Writer, appNames []string) error {
 // five kernels with larger inputs: big.TINY/MESI speedup over O3x1, and
 // HCC-gwb / HCC-DTS-gwb speedups over big.TINY/MESI.
 func (s *Suite) Table5(w io.Writer) error {
-	big := NewSuite(sizeUp(s.Size))
-	big.Verify = s.Verify
-	big.Progress = s.Progress
+	big := s.at(sizeUp(s.Size), s.Grain)
 	fmt.Fprintf(w, "Table V: 256-core big.TINY system, larger inputs (size=%s)\n", big.Size)
 	fmt.Fprintf(w, "%-12s | %10s | %12s %12s\n", "App", "b.T/MESI", "HCC-gwb", "HCC-DTS-gwb")
 	fmt.Fprintf(w, "%-12s | %10s | %12s %12s\n", "", "(vs O3x1)", "(vs b.T/MESI)", "(vs b.T/MESI)")
@@ -176,7 +174,7 @@ func (s *Suite) Table5(w io.Writer) error {
 // granularity, on a 64-tiny-core system.
 func (s *Suite) Fig4(w io.Writer, grains []int) error {
 	if len(grains) == 0 {
-		grains = []int{1, 2, 4, 8, 16, 32, 64, 128}
+		grains = Fig4Grains
 	}
 	fmt.Fprintf(w, "Figure 4: ligra-tc on 64 tiny cores vs task granularity (size=%s)\n", s.Size)
 	fmt.Fprintf(w, "%-12s %10s %14s\n", "Granularity", "Speedup", "Parallelism")
@@ -185,10 +183,7 @@ func (s *Suite) Fig4(w io.Writer, grains []int) error {
 		return err
 	}
 	for _, g := range grains {
-		sub := NewSuite(s.Size)
-		sub.Grain = g
-		sub.Verify = s.Verify
-		sub.Progress = s.Progress
+		sub := s.at(s.Size, g)
 		r, err := sub.Run("tiny64", "ligra-tc")
 		if err != nil {
 			return err
