@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke
+.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke bench
 
 all: ci
 
-ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke
+ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,3 +50,18 @@ chaos-lossy-smoke:
 # zero simulated-cycle overhead expected.
 oracle-smoke:
 	$(GO) run ./cmd/btsim -config bT8/HCC-DTS-gwb -app cilk5-cs -oracle
+
+# One pass over every Go benchmark (kernel microbenchmarks and the
+# end-to-end artifact benchmarks) so a perf-rig regression — a bench
+# that panics, a metric that stops compiling — fails ci. Numbers from
+# -benchtime=1x are noise; `make bench` produces the real ones.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim .
+
+# Regenerate BENCH_PR4.json: the kernel microbenchmark plus a strictly
+# serial ref-size table3 pass, measured on this host. The file's
+# "before" baseline section is preserved; only "after" and the derived
+# speedup ratios are rewritten (see EXPERIMENTS.md "Profiling and
+# benchmarking").
+bench:
+	$(GO) run ./cmd/paperbench bench

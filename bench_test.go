@@ -105,6 +105,36 @@ func BenchmarkEnergyReport(b *testing.B) {
 	})
 }
 
+// BenchmarkEndToEndCilkCS is the PR 4 host-throughput canary: one full
+// cilk5-cs simulation on the 64-core DTS machine, reporting simulated
+// cycles, kernel events, and the fast-path wait count per op alongside
+// the usual wall-clock and allocs. sim_cycles/op and events/op are
+// determinism canaries; ns/op and allocs/op are the host cost this PR
+// drives down.
+func BenchmarkEndToEndCilkCS(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app, err := apps.ByName("cilk5-cs")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg, err := machine.Lookup("bT/HCC-DTS-gwb")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := machine.New(cfg)
+		rt := wsrt.New(m, wsrt.AutoVariant(m))
+		rt.Grain = app.DefaultGrain
+		inst := app.Setup(rt, apps.Test, 0)
+		if err := rt.Run(inst.Root); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Kernel.Now()), "sim_cycles/op")
+		b.ReportMetric(float64(m.Kernel.Fired()), "events/op")
+		b.ReportMetric(float64(m.Kernel.FastWaits()), "fastwaits/op")
+	}
+}
+
 // --- runtime primitive microbenchmarks (ablation-style) ---
 
 // benchSpawnWait measures the end-to-end cost of a fork-join workload

@@ -3,15 +3,18 @@
 // Usage:
 //
 //	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-faults s1,s2]
-//	           [-fault-seed N] [-v] [targets...]
+//	           [-fault-seed N] [-cpuprofile f] [-memprofile f] [-v] [targets...]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
-// chaos all (default: all except table5, which simulates a 256-core
-// system and is the most expensive target, and chaos, which is a
-// robustness sweep rather than a paper artifact). The chaos target runs
-// every selected app under each fault-injection scenario on a small
-// DTS machine and checks the outputs still match the serial reference;
-// it always uses test-size inputs regardless of -size.
+// chaos bench all (default: all except table5, which simulates a
+// 256-core system and is the most expensive target, and chaos, which
+// is a robustness sweep rather than a paper artifact). The chaos
+// target runs every selected app under each fault-injection scenario
+// on a small DTS machine and checks the outputs still match the serial
+// reference; it always uses test-size inputs regardless of -size. The
+// bench target measures host throughput (simulated cycles/sec, kernel
+// events/sec, allocs/event) and writes it to -bench-out (see
+// EXPERIMENTS.md "Profiling and benchmarking").
 //
 // The 143 simulations behind the full evaluation are independent, so
 // paperbench fans them out over -j host workers (default: all host
@@ -23,7 +26,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bigtiny/internal/apps"
@@ -32,6 +38,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	size := flag.String("size", "ref", "input size: test, ref, or big")
 	appList := flag.String("apps", "", "comma-separated app subset (default: all 13)")
 	jobs := flag.Int("j", 0, "host workers for the simulation fan-out (0 = all host cores, 1 = serial)")
@@ -41,7 +51,41 @@ func main() {
 	faultList := flag.String("faults", "",
 		"comma-separated fault scenarios for the chaos target (default: the built-in sweep set)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed for the chaos target")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	benchOut := flag.String("bench-out", "BENCH_PR4.json",
+		"output file for the bench target (an existing 'before' baseline section is preserved)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var chaosScenarios []string
 	if *faultList != "" {
@@ -49,7 +93,7 @@ func main() {
 		for _, sc := range chaosScenarios {
 			if _, err := fault.Lookup(sc); err != nil {
 				fmt.Fprintln(os.Stderr, "paperbench:", err)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
@@ -64,7 +108,7 @@ func main() {
 		sz = apps.Big
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown size %q\n", *size)
-		os.Exit(2)
+		return 2
 	}
 
 	names := bench.AppNames()
@@ -73,7 +117,7 @@ func main() {
 		for _, n := range names {
 			if _, err := apps.ByName(n); err != nil {
 				fmt.Fprintln(os.Stderr, "paperbench:", err)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
@@ -82,7 +126,7 @@ func main() {
 	for _, t := range targets {
 		if strings.HasPrefix(t, "-") {
 			fmt.Fprintf(os.Stderr, "paperbench: flag %q given after targets; flags must precede targets\n", t)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if len(targets) == 0 {
@@ -119,7 +163,8 @@ func main() {
 	// caches over the host worker pool; the render loop below then
 	// draws from the cache in fixed order. Prewarm errors are not fatal
 	// here — the owning target re-encounters them serially and reports
-	// them with its usual context.
+	// them with its usual context. (The bench target has no worklist:
+	// it measures its own strictly-serial pass on a private suite.)
 	var work []bench.Work
 	for _, t := range targets {
 		if wl, ok := s.TargetWork(t, names); ok {
@@ -156,12 +201,18 @@ func main() {
 			err = s.EnergyReport(out, names)
 		case "chaos":
 			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, *jobs)
+		case "bench":
+			var progress io.Writer
+			if *verbose {
+				progress = os.Stderr
+			}
+			err = bench.HostBench(out, sz, names, *benchOut, progress)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(out)
 	}
@@ -170,15 +221,16 @@ func main() {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := s.WriteJSON(f); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

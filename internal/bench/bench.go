@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"bigtiny/internal/apps"
 	"bigtiny/internal/cilkview"
@@ -72,6 +73,15 @@ type Suite struct {
 	// progressMu serializes Progress writes; set by NewSuite and shared
 	// with derived suites so parallel runs never interleave lines.
 	progressMu *sync.Mutex
+
+	// Kernel host-performance counters accumulated (atomically) across
+	// every simulation this suite ran, for the benchmarking rig. They
+	// are host-side observability only and never feed tables or JSON
+	// exports. Derived suites (at) keep their own totals; HostCounters
+	// sums them.
+	eventsScheduled atomic.Uint64
+	eventsFired     atomic.Uint64
+	fastWaits       atomic.Uint64
 }
 
 // flightCall is one in-flight simulation or analysis; waiters block on
@@ -215,8 +225,33 @@ func (s *Suite) simulate(cfgName, appName string) (*stats.Run, error) {
 		}
 	}
 	r := stats.Collect(m, rt, appName)
+	s.eventsScheduled.Add(m.Kernel.Scheduled())
+	s.eventsFired.Add(m.Kernel.Fired())
+	s.fastWaits.Add(m.Kernel.FastWaits())
 	s.progress("ran %-14s on %-16s: %12d cycles\n", appName, cfgName, r.Cycles)
 	return r, nil
+}
+
+// HostCounters returns the kernel host-performance totals (events
+// scheduled, events fired, fast-path waits) over every simulation this
+// suite and its derived sub-suites have run.
+func (s *Suite) HostCounters() (scheduled, fired, fastWaits uint64) {
+	scheduled = s.eventsScheduled.Load()
+	fired = s.eventsFired.Load()
+	fastWaits = s.fastWaits.Load()
+	s.mu.Lock()
+	subs := make([]*Suite, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sc, f, fw := sub.HostCounters()
+		scheduled += sc
+		fired += f
+		fastWaits += fw
+	}
+	return scheduled, fired, fastWaits
 }
 
 // progress writes one whole progress line under the shared lock.

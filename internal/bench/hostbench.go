@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/sim"
+)
+
+// This file is the host-performance measurement rig behind `paperbench
+// bench` (and `make bench`). It measures how fast the simulator runs
+// on the host — simulated cycles per host second, kernel events per
+// second, host allocations per event — and writes the numbers to a
+// BENCH_*.json file so the repo carries a perf trajectory from PR to
+// PR. Simulated results are bit-identical no matter how fast the host
+// path is; this rig only watches the host side.
+
+// KernelBench is the kernel microbenchmark: a single proc scheduling
+// and firing events through a ~1k-deep queue (the BenchmarkSchedule
+// shape from internal/sim, run without the testing harness so
+// paperbench can embed it).
+type KernelBench struct {
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// SuiteBench is the end-to-end measurement: the full table3 simulation
+// worklist run serially (the -j1 paperbench table3 workload).
+type SuiteBench struct {
+	WallSec         float64 `json:"wall_sec"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	EventsFired     uint64  `json:"events_fired"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	FastWaits       uint64  `json:"fast_waits"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+}
+
+// HostBenchReport is one measurement of the current binary.
+type HostBenchReport struct {
+	Date         string     `json:"date"`
+	GoVersion    string     `json:"go_version"`
+	HostCPUs     int        `json:"host_cpus"`
+	Size         string     `json:"size"`
+	Kernel       KernelBench `json:"kernel"`
+	Table3Serial SuiteBench  `json:"table3_serial"`
+}
+
+// BenchFile is the on-disk BENCH_*.json format: the baseline
+// measurement taken before a perf PR, the measurement after it, and
+// the derived ratios. `paperbench bench` preserves an existing
+// "before" section and rewrites "after", so re-running `make bench`
+// refreshes the current numbers without losing the baseline.
+type BenchFile struct {
+	Before *HostBenchReport `json:"before,omitempty"`
+	After  *HostBenchReport `json:"after"`
+	// Speedup ratios (before/after wall, before/after allocs-per-event),
+	// present when both sections are.
+	Table3WallSpeedup    float64 `json:"table3_wall_speedup,omitempty"`
+	KernelAllocsPerEventRatio float64 `json:"kernel_allocs_per_event_ratio,omitempty"`
+}
+
+// benchKernel runs the kernel microbenchmark: n schedule+fire pairs
+// against a queue pre-filled to depth, measuring wall time and host
+// allocations around the run.
+func benchKernel(n int) KernelBench {
+	k := sim.NewKernel()
+	const depth = 1024
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		k.At(sim.Time(i+1), fn)
+	}
+	fired := 0
+	cb := func() { fired++ }
+	k.NewProc("driver", 0, func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			k.At(k.Now()+depth, cb)
+			p.Delay(1)
+		}
+	})
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	if err := k.Run(nil); err != nil {
+		panic(err) // a broken microbenchmark is a simulator bug
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	events := k.Fired()
+	return KernelBench{
+		Events:         events,
+		NsPerEvent:     float64(wall.Nanoseconds()) / float64(events),
+		EventsPerSec:   float64(events) / wall.Seconds(),
+		AllocsPerEvent: float64(m1.Mallocs-m0.Mallocs) / float64(events),
+	}
+}
+
+// benchSuite runs the table3 simulation worklist strictly serially
+// (the `paperbench -j 1 table3` workload) on a fresh suite and
+// measures host throughput. Simulated results are the usual
+// bit-identical ones; only wall time and allocation counts vary by
+// host.
+func benchSuite(size apps.Size, names []string, progress io.Writer) (SuiteBench, error) {
+	s := NewSuite(size)
+	s.Progress = progress
+	work := s.Table3Work(names)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	var simCycles uint64
+	seen := make(map[string]bool, len(work))
+	for _, w := range work {
+		if k := w.key(); seen[k] {
+			continue
+		} else {
+			seen[k] = true
+		}
+		sub := s.at(w.Size, w.Grain)
+		if w.View {
+			if _, err := sub.View(w.App); err != nil {
+				return SuiteBench{}, err
+			}
+			continue
+		}
+		r, err := sub.Run(w.Cfg, w.App)
+		if err != nil {
+			return SuiteBench{}, err
+		}
+		simCycles += uint64(r.Cycles)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	_, fired, fastWaits := s.HostCounters()
+	b := SuiteBench{
+		WallSec:     wall.Seconds(),
+		SimCycles:   simCycles,
+		EventsFired: fired,
+		FastWaits:   fastWaits,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		b.SimCyclesPerSec = float64(simCycles) / secs
+		b.EventsPerSec = float64(fired) / secs
+	}
+	if fired > 0 {
+		b.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(fired)
+	}
+	return b, nil
+}
+
+// HostBench measures the current binary (kernel microbenchmark plus
+// the serial table3 workload at size), merges the result into the
+// BENCH file at outPath — preserving any existing "before" baseline —
+// and prints a summary to w.
+func HostBench(w io.Writer, size apps.Size, names []string, outPath string, progress io.Writer) error {
+	rep := &HostBenchReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		HostCPUs:  runtime.NumCPU(),
+		Size:      size.String(),
+	}
+	rep.Kernel = benchKernel(2_000_000)
+	var err error
+	rep.Table3Serial, err = benchSuite(size, names, progress)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+
+	var file BenchFile
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench: existing %s is not a BENCH file: %w", outPath, err)
+		}
+	}
+	file.After = rep
+	file.Table3WallSpeedup = 0
+	file.KernelAllocsPerEventRatio = 0
+	if file.Before != nil {
+		if rep.Table3Serial.WallSec > 0 {
+			file.Table3WallSpeedup = file.Before.Table3Serial.WallSec / rep.Table3Serial.WallSec
+		}
+		// Floor the denominator: an (effectively) allocation-free kernel
+		// would make the ratio infinite, which JSON cannot carry.
+		denom := rep.Kernel.AllocsPerEvent
+		if denom < 1e-3 {
+			denom = 1e-3
+		}
+		file.KernelAllocsPerEventRatio = file.Before.Kernel.AllocsPerEvent / denom
+	}
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "kernel:  %.0f events/s, %.1f ns/event, %.3f allocs/event\n",
+		rep.Kernel.EventsPerSec, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent)
+	fmt.Fprintf(w, "table3 (serial, size=%s): %.1fs wall, %.2fM sim-cycles/s, %.2fM events/s, %.3f allocs/event\n",
+		size, rep.Table3Serial.WallSec,
+		rep.Table3Serial.SimCyclesPerSec/1e6, rep.Table3Serial.EventsPerSec/1e6,
+		rep.Table3Serial.AllocsPerEvent)
+	if file.Before != nil {
+		fmt.Fprintf(w, "vs baseline: %.2fx table3 wall, %.1fx fewer kernel allocs/event\n",
+			file.Table3WallSpeedup, file.KernelAllocsPerEventRatio)
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

@@ -58,6 +58,11 @@ type System struct {
 	l1s   []*L1
 	tick  uint64
 
+	// recallScratch groups recalled words by owning core (one word mask
+	// per core id), reused across recallWords calls so the hot recall
+	// path allocates nothing. Entries are always zero between calls.
+	recallScratch []uint8
+
 	L2Stats L2Stats
 }
 
@@ -106,7 +111,7 @@ func NewSystem(cfg Config, m *noc.Mesh, backing *mem.Memory) *System {
 	if cfg.AmoLat == 0 {
 		cfg.AmoLat = 2
 	}
-	s := &System{cfg: cfg, mesh: m, mem: backing}
+	s := &System{cfg: cfg, mesh: m, mem: backing, recallScratch: make([]uint8, cfg.NumCores)}
 	for b := range cfg.BankNode {
 		bk := &bank{
 			id:   b,
@@ -276,8 +281,10 @@ func (s *System) recallAll(t sim.Time, b *bank, l *l2Line) sim.Time {
 // recallWords recalls the words in mask that are registered to cores
 // other than except.
 func (s *System) recallWords(t sim.Time, b *bank, l *l2Line, mask uint8, except int) sim.Time {
-	// Group words by owner.
-	byOwner := make(map[int]uint8)
+	// Group words by owner in the reusable scratch table (cleared again
+	// as the owner loop consumes it).
+	byOwner := s.recallScratch
+	any := false
 	for w := 0; w < mem.WordsPerLine; w++ {
 		if mask&(1<<w) == 0 {
 			continue
@@ -285,14 +292,19 @@ func (s *System) recallWords(t sim.Time, b *bank, l *l2Line, mask uint8, except 
 		o := int(l.wordOwner[w])
 		if o >= 0 && o != except {
 			byOwner[o] |= 1 << w
+			any = true
 		}
+	}
+	if !any {
+		return t
 	}
 	done := t
 	for owner := 0; owner < s.cfg.NumCores; owner++ {
-		wm, ok := byOwner[owner]
-		if !ok {
+		wm := byOwner[owner]
+		if wm == 0 {
 			continue
 		}
+		byOwner[owner] = 0
 		s.L2Stats.Recalls++
 		at := s.mesh.Send(t, b.node, s.cfg.CoreNode[owner], reqBytes, noc.CohReq)
 		words := s.l1s[owner].recallWords(l.tag, wm)

@@ -104,11 +104,16 @@ type Core struct {
 	// fracIssue accumulates sub-cycle issue debt for wide issue.
 	fracIssue int
 
-	// sbuf holds completion times of outstanding stores. Even simple
-	// in-order cores have a store buffer: stores retire in the
-	// background and the core stalls only when the buffer fills.
-	// Atomics, flushes, and invalidates act as fences and drain it.
-	sbuf []sim.Time
+	// sbuf holds completion times of outstanding stores in a fixed
+	// inline buffer (sbLen entries live). Even simple in-order cores
+	// have a store buffer: stores retire in the background and the core
+	// stalls only when the buffer fills. Atomics, flushes, and
+	// invalidates act as fences and drain it. Entry order carries no
+	// meaning — every consumer treats the buffer as a multiset (filter
+	// retired, remove min when full, drain max) — so maintenance never
+	// allocates or splices.
+	sbuf  [sbDepth]sim.Time
+	sbLen int
 }
 
 // sbDepth is the store buffer capacity.
@@ -282,29 +287,32 @@ func (c *Core) Store(a mem.Addr, v uint64) {
 	now := c.proc.Now()
 	done := c.L1D.Store(now, a, v)
 	// Retire stores that completed.
-	live := c.sbuf[:0]
-	for _, t := range c.sbuf {
-		if t > now {
-			live = append(live, t)
+	n := 0
+	for i := 0; i < c.sbLen; i++ {
+		if c.sbuf[i] > now {
+			c.sbuf[n] = c.sbuf[i]
+			n++
 		}
 	}
-	c.sbuf = live
+	c.sbLen = n
 	stallUntil := now + 1
-	if len(c.sbuf) >= sbDepth {
+	if c.sbLen >= sbDepth {
 		// Full: wait for the oldest outstanding store.
 		oldest := 0
-		for i, t := range c.sbuf {
-			if t < c.sbuf[oldest] {
+		for i := 1; i < c.sbLen; i++ {
+			if c.sbuf[i] < c.sbuf[oldest] {
 				oldest = i
 			}
 		}
 		if c.sbuf[oldest] > stallUntil {
 			stallUntil = c.sbuf[oldest]
 		}
-		c.sbuf = append(c.sbuf[:oldest], c.sbuf[oldest+1:]...)
+		c.sbLen--
+		c.sbuf[oldest] = c.sbuf[c.sbLen]
 	}
 	if done > now+1 {
-		c.sbuf = append(c.sbuf, done)
+		c.sbuf[c.sbLen] = done
+		c.sbLen++
 	}
 	c.attribute(ClassStore, stallUntil)
 }
@@ -313,12 +321,12 @@ func (c *Core) Store(a mem.Addr, v uint64) {
 // charging the wait to class.
 func (c *Core) drainStores(class Class) {
 	done := c.proc.Now()
-	for _, t := range c.sbuf {
-		if t > done {
-			done = t
+	for i := 0; i < c.sbLen; i++ {
+		if c.sbuf[i] > done {
+			done = c.sbuf[i]
 		}
 	}
-	c.sbuf = c.sbuf[:0]
+	c.sbLen = 0
 	c.attribute(class, done)
 }
 

@@ -32,10 +32,16 @@ func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
 func WordIndex(a Addr) int { return int(a%LineSize) / WordSize }
 
 // Memory is the flat backing store. Words are allocated lazily in
-// fixed-size chunks so that sparse address spaces stay cheap.
+// fixed-size chunks so that sparse address spaces stay cheap. A
+// one-entry memo in front of the chunk map exploits the strong chunk
+// locality of line fills and writebacks (8 consecutive words per
+// line, lines clustered per data structure), turning most accesses
+// into a compare and an indexed load.
 type Memory struct {
-	chunks map[Addr][]uint64 // chunk base -> chunkWords values
-	brk    Addr              // allocator break
+	chunks   map[Addr][]uint64 // chunk base -> chunkWords values
+	lastBase Addr              // memo: base of the chunk last touched
+	last     []uint64          // memo: that chunk's words (nil = no memo)
+	brk      Addr              // allocator break
 }
 
 const (
@@ -55,10 +61,15 @@ func New() *Memory {
 // ReadWord returns the word stored at a. a must be word-aligned.
 func (m *Memory) ReadWord(a Addr) uint64 {
 	checkAlign(a)
-	c, ok := m.chunks[a&^(chunkBytes-1)]
+	base := a &^ (chunkBytes - 1)
+	if m.last != nil && base == m.lastBase {
+		return m.last[(a%chunkBytes)/WordSize]
+	}
+	c, ok := m.chunks[base]
 	if !ok {
 		return 0
 	}
+	m.lastBase, m.last = base, c
 	return c[(a%chunkBytes)/WordSize]
 }
 
@@ -66,11 +77,16 @@ func (m *Memory) ReadWord(a Addr) uint64 {
 func (m *Memory) WriteWord(a Addr, v uint64) {
 	checkAlign(a)
 	base := a &^ (chunkBytes - 1)
+	if m.last != nil && base == m.lastBase {
+		m.last[(a%chunkBytes)/WordSize] = v
+		return
+	}
 	c, ok := m.chunks[base]
 	if !ok {
 		c = make([]uint64, chunkWords)
 		m.chunks[base] = c
 	}
+	m.lastBase, m.last = base, c
 	c[(a%chunkBytes)/WordSize] = v
 }
 

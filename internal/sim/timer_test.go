@@ -70,6 +70,72 @@ func TestStoppedTimerPastDeadline(t *testing.T) {
 	}
 }
 
+// TestTombstoneCompaction: arm-and-cancel churn (the ULI steal-timeout
+// pattern) must not grow the queue. 10k cancelled timers all aimed at
+// the far future would previously sit in the heap until popped; the
+// queue now compacts when tombstones outnumber half the live events.
+func TestTombstoneCompaction(t *testing.T) {
+	k := NewKernel()
+	maxLen := 0
+	k.NewProc("churner", 0, func(p *Proc) {
+		for i := 0; i < 10_000; i++ {
+			tm := k.TimerAfter(1_000_000, func() { t.Error("cancelled timer fired") })
+			if !tm.Stop() {
+				t.Error("in-time Stop failed")
+			}
+			if l := k.QueueLen(); l > maxLen {
+				maxLen = l
+			}
+			p.Delay(1)
+		}
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Live events never exceed ~2 (the churner's own resume); with the
+	// compaction floor at 32 the queue must stay tiny, not O(10k).
+	if maxLen > 4*compactTombstoneFloor {
+		t.Fatalf("queue grew to %d entries under arm/cancel churn, want <= %d",
+			maxLen, 4*compactTombstoneFloor)
+	}
+	if k.Tombstones() > compactTombstoneFloor {
+		t.Fatalf("%d tombstones left after run", k.Tombstones())
+	}
+	if k.Now() != 10_000 {
+		t.Fatalf("clock at %d, want 10000 (cancelled timers advanced time)", k.Now())
+	}
+}
+
+// TestTimerStaleHandleAfterReuse: a timer handle whose slot has fired
+// and been recycled for a new event must go stale — Stop through it
+// returns false and must not cancel the slot's new occupant.
+func TestTimerStaleHandleAfterReuse(t *testing.T) {
+	k := NewKernel()
+	firstFired, secondFired := false, false
+	tm1 := k.TimerAt(10, func() { firstFired = true })
+	var tm2 *Timer
+	k.At(20, func() {
+		// tm1 fired at 10; its slot is free and this re-arms it.
+		tm2 = k.TimerAt(30, func() { secondFired = true })
+		if tm1.Stop() {
+			t.Error("stale handle Stop reported success")
+		}
+		if tm1.Active() {
+			t.Error("stale handle reports active")
+		}
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !firstFired || !secondFired {
+		t.Fatalf("fired = %v,%v, want both (stale Stop cancelled a stranger)",
+			firstFired, secondFired)
+	}
+	if tm2.Active() {
+		t.Error("fired timer still active")
+	}
+}
+
 func TestTimerAfter(t *testing.T) {
 	k := NewKernel()
 	var firedAt Time
