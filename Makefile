@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke bench
+.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke serve-smoke bench
 
 all: ci
 
-ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke
+ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,11 +19,12 @@ test:
 
 # The simulator itself is single-goroutine-at-a-time by construction;
 # the race detector earns its keep on the packages with real
-# concurrency: the native wsrt executor, pure-Go helpers, and the
+# concurrency: the native wsrt executor, pure-Go helpers, the
 # host-parallel bench layer (singleflight caches, Prewarm worker pool,
-# and the parallel-vs-serial determinism tests).
+# and the parallel-vs-serial determinism tests), and the serving stack
+# (worker pool, admission queue, drain, and the disk store).
 race:
-	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/bench/...
+	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/bench/... ./internal/serve ./internal/store
 
 # Host-parallel determinism gate: fan a target subset out over 4
 # workers; the render pass reads only the warmed cache, so this passing
@@ -57,6 +58,14 @@ oracle-smoke:
 # -benchtime=1x are noise; `make bench` produces the real ones.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim .
+
+# Service self-test: start simd on a random port with a temp store,
+# POST a tiny job under the full lossy chaos scenario, assert HTTP 200,
+# the ULI accounting identity (reqs == acks + nacks + drops) in the
+# returned JSON, and a byte-identical repeat; then drain gracefully via
+# a real SIGTERM and exit 0 (see EXPERIMENTS.md "Running the service").
+serve-smoke:
+	$(GO) run ./cmd/simd -smoke
 
 # Regenerate BENCH_PR4.json: the kernel microbenchmark plus a strictly
 # serial ref-size table3 pass, measured on this host. The file's

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N]
+//	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N] [-deadline cycles]
 //	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults chaos-all [-fault-seed N]
 //	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults lossy-uli -oracle
 //	btsim -list-configs
@@ -21,6 +21,7 @@ import (
 	"bigtiny/internal/energy"
 	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 	"bigtiny/internal/trace"
 )
@@ -36,6 +37,8 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection scenario (see -list-faults)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
 	oracleOn := flag.Bool("oracle", false, "shadow the run with the memory-ordering oracle")
+	deadline := flag.Uint64("deadline", 0,
+		"simulated-cycle deadline; the run fails with a machine-state dump past it (0 = config watchdog default)")
 	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
 	flag.Parse()
 
@@ -88,6 +91,7 @@ func main() {
 	s.FaultScenario = *faults
 	s.FaultSeed = *faultSeed
 	s.Oracle = *oracleOn
+	s.Deadline = sim.Time(*deadline)
 	if *traceFile != "" {
 		s.Tracer = &trace.Recorder{Limit: 2_000_000}
 	}

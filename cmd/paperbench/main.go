@@ -3,7 +3,9 @@
 // Usage:
 //
 //	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-faults s1,s2]
-//	           [-fault-seed N] [-cpuprofile f] [-memprofile f] [-v] [targets...]
+//	           [-fault-seed N] [-deadline cycles] [-cpuprofile f]
+//	           [-memprofile f] [-v] [targets...]
+//	paperbench serve [simd flags]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
 // chaos bench all (default: all except table5, which simulates a
@@ -21,6 +23,9 @@
 // cores) before rendering; tables and figures are always rendered
 // serially from the warmed cache, so the output is byte-identical at
 // any -j.
+//
+// The serve subcommand runs the same daemon as cmd/simd (see that
+// command and EXPERIMENTS.md "Running the service").
 package main
 
 import (
@@ -35,9 +40,14 @@ import (
 	"bigtiny/internal/apps"
 	"bigtiny/internal/bench"
 	"bigtiny/internal/fault"
+	"bigtiny/internal/serve"
+	"bigtiny/internal/sim"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serve.Main("paperbench serve", os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -51,6 +61,8 @@ func run() int {
 	faultList := flag.String("faults", "",
 		"comma-separated fault scenarios for the chaos target (default: the built-in sweep set)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection RNG seed for the chaos target")
+	deadline := flag.Uint64("deadline", 0,
+		"per-run simulated-cycle deadline; a run past it fails with a machine-state dump (0 = each config's watchdog default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	benchOut := flag.String("bench-out", "BENCH_PR4.json",
@@ -155,6 +167,7 @@ func run() int {
 
 	s := bench.NewSuite(sz)
 	s.Verify = !*noVerify
+	s.Deadline = sim.Time(*deadline)
 	if *verbose {
 		s.Progress = os.Stderr
 	}

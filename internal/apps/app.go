@@ -33,6 +33,18 @@ const (
 	Unit
 )
 
+// ParseSize is String's inverse: it resolves a size name from a CLI
+// flag or an API request, so every entry point validates against the
+// same list.
+func ParseSize(name string) (Size, error) {
+	for _, s := range []Size{Test, Ref, Big, Empty, Unit} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("apps: unknown size %q (have test, ref, big, empty, unit)", name)
+}
+
 // String names the size.
 func (s Size) String() string {
 	switch s {

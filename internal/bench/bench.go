@@ -13,9 +13,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +27,7 @@ import (
 	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
 	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 	"bigtiny/internal/trace"
 	"bigtiny/internal/wsrt"
@@ -57,6 +60,20 @@ type Suite struct {
 	// Oracle shadows every run with the memory-ordering oracle
 	// (internal/oracle); a violation fails the run.
 	Oracle bool
+	// Deadline, when nonzero, overrides every configuration's watchdog
+	// deadline (simulated cycles): a run that exceeds it fails with the
+	// machine-state dump instead of hanging its caller. Success results
+	// are deadline-independent (a run either finishes under the
+	// deadline, bit-identical to an unbounded run, or errors), so the
+	// result cache does not key on it.
+	Deadline sim.Time
+	// SimHook, when non-nil, runs at the top of every simulation with
+	// the cell's names (and of every Cilkview analysis, with cfgName
+	// "view"), inside the suite's panic containment. It exists so
+	// robustness tests (of this package and of the serving layer) can
+	// inject failures — panics, stalls — that no real app produces.
+	// Leave nil outside tests.
+	SimHook func(cfgName, appName string)
 
 	// mu guards the caches and in-flight tables below. Simulations run
 	// outside the lock; flight entries make concurrent callers of the
@@ -135,6 +152,8 @@ func (s *Suite) at(size apps.Size, grain int) *Suite {
 	sub.Grain = grain
 	sub.Verify = s.Verify
 	sub.Progress = s.Progress
+	sub.Deadline = s.Deadline
+	sub.SimHook = s.SimHook
 	sub.progressMu = s.progressMu
 	s.subs[key] = sub
 	return sub
@@ -158,6 +177,15 @@ func (s *Suite) runKey(cfgName, appName string) string {
 // paper's "Serial IO" baseline. Concurrent callers of the same pair
 // share a single simulation.
 func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
+	return s.RunCtx(context.Background(), cfgName, appName)
+}
+
+// RunCtx is Run with cancellation: a done context interrupts an
+// in-flight simulation this call is leading (the kernel aborts with a
+// machine-state dump) and stops waiting on one it merely joined —
+// the shared simulation itself keeps the leader's context, so one
+// impatient waiter cannot kill a result other callers are blocked on.
+func (s *Suite) RunCtx(ctx context.Context, cfgName, appName string) (*stats.Run, error) {
 	key := "run:" + s.runKey(cfgName, appName)
 	s.mu.Lock()
 	if r, ok := s.results[key]; ok {
@@ -166,14 +194,18 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 	}
 	if c, ok := s.flight[key]; ok {
 		s.mu.Unlock()
-		<-c.done
-		return c.run, c.err
+		select {
+		case <-c.done:
+			return c.run, c.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bench: %s on %s: %w", appName, cfgName, ctx.Err())
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	s.flight[key] = c
 	s.mu.Unlock()
 
-	c.run, c.err = s.simulate(cfgName, appName)
+	c.run, c.err = s.simulate(ctx, cfgName, appName)
 
 	s.mu.Lock()
 	if c.err == nil {
@@ -187,11 +219,27 @@ func (s *Suite) Run(cfgName, appName string) (*stats.Run, error) {
 
 // simulate performs one full simulation, uncached and lock-free: every
 // run builds its own machine and runtime, so concurrent simulations
-// share no mutable state.
-func (s *Suite) simulate(cfgName, appName string) (*stats.Run, error) {
+// share no mutable state. A panic anywhere in the cell — app setup,
+// the simulation, verification, a test hook — is recovered into that
+// cell's error: one poisoned (config, app) pair fails its own callers
+// (the singleflight leader and every duplicate waiter) and nothing
+// else.
+func (s *Suite) simulate(ctx context.Context, cfgName, appName string) (r *stats.Run, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			r, err = nil, fmt.Errorf("bench: panic in %s on %s: %v\n%s",
+				appName, cfgName, v, debug.Stack())
+		}
+	}()
+	if s.SimHook != nil {
+		s.SimHook(cfgName, appName)
+	}
 	cfg, err := machine.Lookup(cfgName)
 	if err != nil {
 		return nil, err
+	}
+	if s.Deadline > 0 {
+		cfg.Deadline = s.Deadline
 	}
 	if s.FaultScenario != "" {
 		sc, err := fault.Lookup(s.FaultScenario)
@@ -207,6 +255,21 @@ func (s *Suite) simulate(cfgName, appName string) (*stats.Run, error) {
 		return nil, err
 	}
 	m := machine.New(cfg)
+	if done := ctx.Done(); done != nil {
+		// Wall-clock cancellation: a watcher interrupts the kernel when
+		// the context dies mid-run; the kernel aborts at its next event
+		// with the usual watchdog dump. The watcher is released on every
+		// exit path so a completed run leaks nothing.
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				m.Kernel.Interrupt(fmt.Sprintf("%s on %s cancelled: %v", appName, cfgName, ctx.Err()))
+			case <-stopWatch:
+			}
+		}()
+	}
 	rt := wsrt.New(m, wsrt.AutoVariant(m))
 	rt.Grain = grainFor(app, s.Grain)
 	rt.Tracer = s.Tracer
@@ -224,7 +287,7 @@ func (s *Suite) simulate(cfgName, appName string) (*stats.Run, error) {
 			return nil, fmt.Errorf("bench: %s on %s: verification failed: %w", appName, cfgName, err)
 		}
 	}
-	r := stats.Collect(m, rt, appName)
+	r = stats.Collect(m, rt, appName)
 	s.eventsScheduled.Add(m.Kernel.Scheduled())
 	s.eventsFired.Add(m.Kernel.Fired())
 	s.fastWaits.Add(m.Kernel.FastWaits())
@@ -283,14 +346,7 @@ func (s *Suite) View(appName string) (cilkview.Report, error) {
 	s.flight[key] = c
 	s.mu.Unlock()
 
-	app, err := apps.ByName(appName)
-	if err == nil {
-		c.view = cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
-			rt.Grain = grainFor(app, s.Grain)
-			return app.Setup(rt, s.Size, s.Grain).Root
-		})
-	}
-	c.err = err
+	c.view, c.err = s.analyze(appName)
 
 	s.mu.Lock()
 	if c.err == nil {
@@ -300,6 +356,30 @@ func (s *Suite) View(appName string) (cilkview.Report, error) {
 	s.mu.Unlock()
 	close(c.done)
 	return c.view, c.err
+}
+
+// analyze performs one Cilkview analysis with the same panic
+// containment simulate gives simulations: the native depth-first
+// executor runs app code on this goroutine, so a panicking app fails
+// its own cell instead of the process.
+func (s *Suite) analyze(appName string) (v cilkview.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = cilkview.Report{}, fmt.Errorf("bench: panic analyzing %s: %v\n%s",
+				appName, r, debug.Stack())
+		}
+	}()
+	if s.SimHook != nil {
+		s.SimHook("view", appName)
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return cilkview.Report{}, err
+	}
+	return cilkview.Analyze(func(rt *wsrt.RT) wsrt.Body {
+		rt.Grain = grainFor(app, s.Grain)
+		return app.Setup(rt, s.Size, s.Grain).Root
+	}), nil
 }
 
 // Energy returns the energy proxy for a cached or new run.

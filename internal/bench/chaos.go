@@ -106,13 +106,23 @@ func slowdownStr(base, cycles sim.Time) string {
 	return fmt.Sprintf("%8.2fx", float64(cycles)/float64(base))
 }
 
-// ChaosScenarios is the default scenario set for chaos sweeps. The
-// lossy scenarios exercise the recovery layer: dropped steal messages,
-// steal timeouts/retries, and mid-run core loss with reclamation.
-var ChaosScenarios = []string{
-	"noc-jitter", "uli-nack-storm", "dram-spike", "chaos-all",
-	"lossy-uli", "core-loss", "chaos-lossy-all",
-}
+// ChaosScenarios is the default scenario set for chaos sweeps: every
+// scenario in the fault registry except the "none" baseline (Chaos
+// already runs a per-app baseline itself), in registry order. Deriving
+// the sweep from fault.Scenarios() keeps the registry the single source
+// of truth — a newly registered scenario joins the sweep, the CLIs'
+// -faults validation, and the service's /v1/scenarios endpoint at once,
+// and a rename cannot leave a stale name behind (TestChaosScenarios-
+// TrackRegistry pins the derivation).
+var ChaosScenarios = func() []string {
+	var names []string
+	for _, sc := range fault.Scenarios() {
+		if sc.Name != "none" {
+			names = append(names, sc.Name)
+		}
+	}
+	return names
+}()
 
 // chaosJob is one (app, scenario) cell of the chaos table.
 type chaosJob struct {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"sort"
@@ -115,6 +117,17 @@ func (s *Suite) toJSON(r *stats.Run) RunJSON {
 	return j
 }
 
+// encodeRuns is the one canonical JSON encoding of exported runs. Both
+// WriteJSON (the `paperbench -json` path) and ResultJSON (the serving
+// path) go through it, so a result served over the API is byte-identical
+// to the CLI export of the same run. encoding/json sorts map keys, so
+// the bytes are deterministic.
+func encodeRuns(w io.Writer, runs []RunJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runs)
+}
+
 // WriteJSON emits every run cached in the suite (sorted by config then
 // app) as a JSON array. Run the desired tables/figures first; this
 // exports whatever they simulated.
@@ -130,7 +143,23 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 		out = append(out, s.toJSON(s.results[k]))
 	}
 	s.mu.Unlock()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return encodeRuns(w, out)
+}
+
+// ResultJSON simulates (or recalls) one cell and returns its canonical
+// export bytes: a single-element JSON array encoded exactly as
+// WriteJSON would encode a suite holding only that run. The serving
+// layer stores and serves these bytes verbatim, which is what makes a
+// cold-started daemon, a warm one, and `paperbench -json` byte-identical
+// for the same (config, app, size, grain, scenario, seed) tuple.
+func (s *Suite) ResultJSON(ctx context.Context, cfgName, appName string) ([]byte, error) {
+	r, err := s.RunCtx(ctx, cfgName, appName)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := encodeRuns(&buf, []RunJSON{s.toJSON(r)}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

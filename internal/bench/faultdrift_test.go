@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"bigtiny/internal/fault"
+)
+
+// TestChaosScenariosTrackRegistry pins the single-source-of-truth
+// contract between the chaos sweep set and the fault registry: every
+// sweep entry resolves in the registry (a rename cannot strand a stale
+// name), and every registered scenario except the "none" baseline is in
+// the sweep (a new scenario cannot be silently left out of chaos runs).
+func TestChaosScenariosTrackRegistry(t *testing.T) {
+	inSweep := make(map[string]bool, len(ChaosScenarios))
+	for _, name := range ChaosScenarios {
+		if name == "none" {
+			t.Error(`sweep contains "none"; Chaos adds its own per-app baselines`)
+		}
+		if inSweep[name] {
+			t.Errorf("sweep lists %q twice", name)
+		}
+		inSweep[name] = true
+		if _, err := fault.Lookup(name); err != nil {
+			t.Errorf("sweep scenario not in the registry: %v", err)
+		}
+	}
+	for _, sc := range fault.Scenarios() {
+		if sc.Name != "none" && !inSweep[sc.Name] {
+			t.Errorf("registered scenario %q missing from the chaos sweep", sc.Name)
+		}
+	}
+	if want := len(fault.Scenarios()) - 1; len(ChaosScenarios) != want {
+		t.Errorf("sweep has %d scenarios, registry has %d non-baseline ones", len(ChaosScenarios), want)
+	}
+}

@@ -172,6 +172,7 @@ func TestCatalogue(t *testing.T) {
 			t.Errorf("catalogue missing %q", want)
 		}
 	}
+	seen := make(map[string]bool)
 	for _, sc := range Scenarios() {
 		if sc.Name != "none" && sc.Zero() {
 			t.Errorf("scenario %q injects nothing", sc.Name)
@@ -179,6 +180,12 @@ func TestCatalogue(t *testing.T) {
 		if sc.Desc == "" {
 			t.Errorf("scenario %q has no description", sc.Name)
 		}
+		// Names must be unique: Lookup resolves by first match, and the
+		// chaos sweep and the serving API both key cells by name.
+		if seen[sc.Name] {
+			t.Errorf("scenario %q registered twice", sc.Name)
+		}
+		seen[sc.Name] = true
 	}
 	none, err := Lookup("none")
 	if err != nil || !none.Zero() {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is simulation time measured in clock cycles.
@@ -93,6 +94,13 @@ type Kernel struct {
 
 	// maxTime aborts runaway simulations (e.g. a livelocked runtime).
 	maxTime Time
+	// intrReason, when non-nil, is an asynchronous abort request (see
+	// Interrupt). It is the only kernel field another goroutine may
+	// touch while a simulation runs, hence the atomic.
+	intrReason atomic.Pointer[string]
+	// interruptHit mirrors deadlineHit for interrupts: set by the
+	// dispatcher that observed the request, consumed by Run.
+	interruptHit bool
 	// err records a crash in simulated software (a proc panic); Run
 	// stops and returns it, modelling a machine crash.
 	err error
@@ -137,6 +145,17 @@ func (k *Kernel) SetDeadline(t Time) { k.maxTime = t }
 // SetParanoid toggles the WaitUntil fast path on an existing kernel
 // (see KernelParanoid).
 func (k *Kernel) SetParanoid(on bool) { k.paranoid = on }
+
+// Interrupt requests an asynchronous abort of the running simulation:
+// the next dispatch (or WaitUntil fast path) observes the request and
+// Run returns a watchdog error carrying reason plus the full machine
+// dump, exactly like a deadline. It is the one kernel entry point that
+// is safe to call from another goroutine — a serving layer uses it to
+// cancel an in-flight job on a wall-clock timeout or a shutdown drain.
+// The first reason wins; later calls are no-ops.
+func (k *Kernel) Interrupt(reason string) {
+	k.intrReason.CompareAndSwap(nil, &reason)
+}
 
 // Scheduled returns the number of events scheduled so far.
 func (k *Kernel) Scheduled() uint64 { return k.scheduled }
@@ -411,6 +430,10 @@ func (k *Kernel) dispatch(self *Proc, onKernel bool) dispatchOutcome {
 		if k.err != nil || k.cbPanic != nil {
 			return k.parkDispatch(onKernel)
 		}
+		if k.intrReason.Load() != nil {
+			k.interruptHit = true
+			return k.parkDispatch(onKernel)
+		}
 		if len(k.queue) == 0 {
 			return k.parkDispatch(onKernel)
 		}
@@ -512,6 +535,11 @@ func (k *Kernel) Run(stop func() bool) error {
 			k.deadlineHit = false
 			return k.watchdogErr(fmt.Sprintf(
 				"deadline %d cycles exceeded (next event at %d)", k.maxTime, k.deadlineAt))
+		}
+		if k.interruptHit {
+			k.interruptHit = false
+			reason := *k.intrReason.Swap(nil)
+			return k.watchdogErr("interrupted: " + reason)
 		}
 		if len(k.queue) == 0 {
 			break

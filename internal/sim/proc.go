@@ -78,8 +78,9 @@ func (p *Proc) Name() string { return p.name }
 //     event forces the slow path, so no other proc's turn is skipped;
 //   - t beyond the watchdog deadline forces the slow path, so Run
 //     still reports the deadline through its usual error;
-//   - a pending kernel error or a true stop predicate forces the slow
-//     path, so Run performs exactly the checks it would have anyway.
+//   - a pending kernel error, pending interrupt, or a true stop
+//     predicate forces the slow path, so Run performs exactly the
+//     checks it would have anyway.
 //
 // KernelParanoid disables the fast path entirely; equivalence tests
 // run both modes and require bit-identical cycle counts.
@@ -88,7 +89,8 @@ func (p *Proc) WaitUntil(t Time) {
 	if t <= k.now {
 		return
 	}
-	if !k.paranoid && t <= k.maxTime && k.err == nil && (k.stop == nil || !k.stop()) {
+	if !k.paranoid && t <= k.maxTime && k.err == nil &&
+		k.intrReason.Load() == nil && (k.stop == nil || !k.stop()) {
 		if at, ok := k.peekLive(); !ok || at > t {
 			k.now = t
 			k.fastWaits++
