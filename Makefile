@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke serve-smoke bench
+.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench
 
 all: ci
 
-ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke bench-smoke serve-smoke
+ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +24,7 @@ test:
 # and the parallel-vs-serial determinism tests), and the serving stack
 # (worker pool, admission queue, drain, and the disk store).
 race:
-	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/bench/... ./internal/serve ./internal/store
+	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/openload ./internal/bench/... ./internal/serve ./internal/store
 
 # Host-parallel determinism gate: fan a target subset out over 4
 # workers; the render pass reads only the warmed cache, so this passing
@@ -52,6 +52,19 @@ chaos-lossy-smoke:
 oracle-smoke:
 	$(GO) run ./cmd/btsim -config bT8/HCC-DTS-gwb -app cilk5-cs -oracle
 
+# Open-system determinism gate: the same bursty overload run under full
+# lossy chaos, twice, must print byte-identical reports (seeded
+# arrivals, exact latency percentiles, and the shed accounting identity
+# are all deterministic; see EXPERIMENTS.md "Open-system experiments").
+open-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir/btsim" ./cmd/btsim && \
+	"$$dir/btsim" -open -config bT8/HCC-DTS-gwb -workload rmat-query -arrival bursty \
+		-rate 8 -requests 32 -open-seed 1 -inflight 8 -faults chaos-lossy-all > "$$dir/a.txt" && \
+	"$$dir/btsim" -open -config bT8/HCC-DTS-gwb -workload rmat-query -arrival bursty \
+		-rate 8 -requests 32 -open-seed 1 -inflight 8 -faults chaos-lossy-all > "$$dir/b.txt" && \
+	cmp "$$dir/a.txt" "$$dir/b.txt" && echo "open-smoke: identical under chaos-lossy-all"
+
 # One pass over every Go benchmark (kernel microbenchmarks and the
 # end-to-end artifact benchmarks) so a perf-rig regression — a bench
 # that panics, a metric that stops compiling — fails ci. Numbers from
@@ -67,10 +80,11 @@ bench-smoke:
 serve-smoke:
 	$(GO) run ./cmd/simd -smoke
 
-# Regenerate BENCH_PR4.json: the kernel microbenchmark plus a strictly
-# serial ref-size table3 pass, measured on this host. The file's
-# "before" baseline section is preserved; only "after" and the derived
-# speedup ratios are rewritten (see EXPERIMENTS.md "Profiling and
-# benchmarking").
+# Regenerate BENCH_PR7.json and append this commit's measurement to the
+# cumulative BENCH.json trajectory: the kernel microbenchmark plus a
+# strictly serial ref-size table3 pass, measured on this host. The
+# PR file's "before" baseline section is preserved; only "after" and
+# the derived speedup ratios are rewritten (see EXPERIMENTS.md
+# "Profiling and benchmarking").
 bench:
 	$(GO) run ./cmd/paperbench bench

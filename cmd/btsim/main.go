@@ -6,12 +6,21 @@
 //	btsim -config bT/HCC-DTS-gwb -app ligra-bfs [-size ref] [-grain N] [-deadline cycles]
 //	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults chaos-all [-fault-seed N]
 //	btsim -config bT8/HCC-DTS-gwb -app ligra-bfs -faults lossy-uli -oracle
+//	btsim -open -config bT8/HCC-DTS-gwb -workload rmat-query -arrival bursty -rate 8 -requests 64
 //	btsim -list-configs
 //	btsim -list-apps
 //	btsim -list-faults
+//
+// With -open, btsim runs an open-system serving experiment instead of
+// a closed-loop kernel: requests arrive on a seeded schedule (-arrival,
+// -rate per 1000 cycles, -requests total), each spawns the -workload
+// task DAG, and the report is shed/completed accounting plus exact
+// end-to-end latency percentiles. -faults/-fault-seed/-oracle/-deadline
+// compose with -open; -app/-size/-grain do not apply.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +30,7 @@ import (
 	"bigtiny/internal/energy"
 	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
+	"bigtiny/internal/openload"
 	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 	"bigtiny/internal/trace"
@@ -40,6 +50,14 @@ func main() {
 	deadline := flag.Uint64("deadline", 0,
 		"simulated-cycle deadline; the run fails with a machine-state dump past it (0 = config watchdog default)")
 	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
+	openMode := flag.Bool("open", false, "run an open-system serving experiment instead of a closed-loop kernel")
+	workload := flag.String("workload", "rmat-query", "open-system per-request workload (see openload.Workloads)")
+	arrival := flag.String("arrival", "poisson", "open-system arrival process: poisson, bursty, or diurnal")
+	rate := flag.Float64("rate", 4, "open-system offered load, requests per 1000 cycles")
+	requests := flag.Int("requests", 64, "open-system total arrivals")
+	openSeed := flag.Uint64("open-seed", 1, "open-system arrival-schedule and request-parameter seed")
+	inflight := flag.Int("inflight", 0, "open-system admission bound; arrivals past it are shed (0 = 4x threads)")
+	horizon := flag.Uint64("horizon", 0, "open-system drain bound in cycles past the last arrival (0 = drain fully)")
 	flag.Parse()
 
 	// Reject unknown scenario names before any simulation work: a typo
@@ -73,17 +91,28 @@ func main() {
 		return
 	}
 
-	var sz apps.Size
-	switch *size {
-	case "test":
-		sz = apps.Test
-	case "ref":
-		sz = apps.Ref
-	case "big":
-		sz = apps.Big
-	default:
-		fmt.Fprintf(os.Stderr, "btsim: unknown size %q\n", *size)
+	sz, err := apps.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
 		os.Exit(2)
+	}
+
+	if *openMode {
+		runOpen(*cfgName, openload.Spec{
+			Workload:    *workload,
+			Arrival:     *arrival,
+			RatePerK:    *rate,
+			Requests:    *requests,
+			Seed:        *openSeed,
+			MaxInFlight: *inflight,
+			Horizon:     sim.Time(*horizon),
+		}, openload.Options{
+			Scenario:  *faults,
+			FaultSeed: *faultSeed,
+			Oracle:    *oracleOn,
+			Deadline:  sim.Time(*deadline),
+		})
+		return
 	}
 
 	s := bench.NewSuite(sz)
@@ -150,4 +179,37 @@ func main() {
 	}
 	fmt.Printf("runtime    : %v\n", r.RT)
 	fmt.Printf("energy     : %.1f uJ (proxy)\n", energy.DefaultModel().Estimate(r))
+}
+
+// runOpen executes one open-system experiment and prints the serving
+// report. openload.Run asserts the accounting identity internally, so
+// a violated identity (or a wrong request answer) exits nonzero here.
+func runOpen(cfgName string, sp openload.Spec, opt openload.Options) {
+	r, err := openload.Run(context.Background(), cfgName, sp, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload   : %s (%s arrivals, rate %g/kcycle, seed %d)\n",
+		sp.Workload, sp.Arrival, sp.RatePerK, sp.Seed)
+	fmt.Printf("config     : %s\n", r.Config)
+	fmt.Printf("cycles     : %d\n", r.Cycles)
+	fmt.Printf("identity   : arrived %d = completed %d + shed %d + in-flight %d\n",
+		r.Arrived, r.Completed, r.Shed, r.InFlightAtEnd)
+	fmt.Printf("drained    : %v\n", r.Drained)
+	fmt.Printf("offered    : %.3f req/kcycle, throughput %.3f req/kcycle\n",
+		r.OfferedPerKCycle, r.ThroughputPerKCycle)
+	if r.Completed > 0 {
+		fmt.Printf("latency    : p50 %d, p90 %d, p99 %d, p999 %d, max %d cycles (mean %.1f)\n",
+			r.Latency.P50(), r.Latency.P90(), r.Latency.P99(), r.Latency.P999(),
+			r.Latency.Max(), r.Latency.Mean())
+	}
+	if opt.Scenario != "" {
+		fmt.Printf("faults     : scenario %s, seed %d: %d total\n",
+			opt.Scenario, opt.FaultSeed, r.FaultTotal)
+	}
+	if opt.Oracle {
+		fmt.Printf("oracle     : %d memory operations checked, 0 violations\n", r.OracleOps)
+	}
+	fmt.Printf("runtime    : %v\n", r.RT)
 }

@@ -8,15 +8,19 @@
 //	paperbench serve [simd flags]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
-// chaos bench all (default: all except table5, which simulates a
-// 256-core system and is the most expensive target, and chaos, which
-// is a robustness sweep rather than a paper artifact). The chaos
+// chaos open bench all (default: all except table5, which simulates a
+// 256-core system and is the most expensive target, and chaos/open,
+// which are robustness sweeps rather than paper artifacts). The chaos
 // target runs every selected app under each fault-injection scenario
 // on a small DTS machine and checks the outputs still match the serial
 // reference; it always uses test-size inputs regardless of -size. The
-// bench target measures host throughput (simulated cycles/sec, kernel
-// events/sec, allocs/event) and writes it to -bench-out (see
-// EXPERIMENTS.md "Profiling and benchmarking").
+// open target sweeps open-system serving load (seeded arrivals, latency
+// percentiles, shedding) across coherence configs with and without
+// fault injection; -open-json exports the cells. The bench target
+// measures host throughput (simulated cycles/sec, kernel events/sec,
+// allocs/event), writes it to -bench-out, and appends a per-commit
+// entry to the cumulative -bench-history trajectory (see EXPERIMENTS.md
+// "Profiling and benchmarking").
 //
 // The 143 simulations behind the full evaluation are independent, so
 // paperbench fans them out over -j host workers (default: all host
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -65,8 +70,12 @@ func run() int {
 		"per-run simulated-cycle deadline; a run past it fails with a machine-state dump (0 = each config's watchdog default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	benchOut := flag.String("bench-out", "BENCH_PR4.json",
+	benchOut := flag.String("bench-out", "BENCH_PR7.json",
 		"output file for the bench target (an existing 'before' baseline section is preserved)")
+	benchHistory := flag.String("bench-history", "BENCH.json",
+		"cumulative per-commit trajectory file the bench target appends to (empty = no trajectory)")
+	openJSON := flag.String("open-json", "",
+		"also dump the open target's sweep results as JSON to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -110,16 +119,9 @@ func run() int {
 		}
 	}
 
-	var sz apps.Size
-	switch *size {
-	case "test":
-		sz = apps.Test
-	case "ref":
-		sz = apps.Ref
-	case "big":
-		sz = apps.Big
-	default:
-		fmt.Fprintf(os.Stderr, "paperbench: unknown size %q\n", *size)
+	sz, err := apps.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		return 2
 	}
 
@@ -150,11 +152,17 @@ func run() int {
 
 	// -faults and -fault-seed only affect the chaos target; flag them
 	// loudly when they would otherwise be silently ignored.
-	chaosSelected := false
+	chaosSelected, openSelected := false, false
 	for _, t := range targets {
 		if t == "chaos" {
 			chaosSelected = true
 		}
+		if t == "open" {
+			openSelected = true
+		}
+	}
+	if *openJSON != "" && !openSelected {
+		fmt.Fprintln(os.Stderr, "paperbench: warning: -open-json only affects the open target, which is not selected; ignoring it")
 	}
 	if !chaosSelected {
 		if *faultList != "" {
@@ -214,12 +222,14 @@ func run() int {
 			err = s.EnergyReport(out, names)
 		case "chaos":
 			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, *jobs)
+		case "open":
+			err = s.Open(out, bench.DefaultOpenSweep(sz))
 		case "bench":
 			var progress io.Writer
 			if *verbose {
 				progress = os.Stderr
 			}
-			err = bench.HostBench(out, sz, names, *benchOut, progress)
+			err = bench.HostBench(out, sz, names, *benchOut, *benchHistory, gitCommit(), progress)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}
@@ -245,5 +255,42 @@ func run() int {
 			return 1
 		}
 	}
+	if *openJSON != "" && openSelected {
+		f, err := os.Create(*openJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return 1
+		}
+		if err := s.WriteOpenJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// gitCommit identifies HEAD for the benchmark trajectory, best-effort:
+// outside a git checkout (or without git on PATH) the entry is still
+// recorded, just unattributed.
+func gitCommit() bench.BenchCommit {
+	out, err := exec.Command("git", "log", "-1", "--format=%H%n%s%n%cI").Output()
+	if err != nil {
+		return bench.BenchCommit{ID: "unknown", Message: "unknown", Timestamp: ""}
+	}
+	lines := strings.SplitN(strings.TrimRight(string(out), "\n"), "\n", 3)
+	c := bench.BenchCommit{ID: "unknown", Message: "unknown"}
+	if len(lines) > 0 && lines[0] != "" {
+		c.ID = lines[0]
+	}
+	if len(lines) > 1 {
+		c.Message = lines[1]
+	}
+	if len(lines) > 2 {
+		c.Timestamp = lines[2]
+	}
+	return c
 }

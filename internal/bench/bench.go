@@ -27,6 +27,7 @@ import (
 	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
 	"bigtiny/internal/mem"
+	"bigtiny/internal/openload"
 	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 	"bigtiny/internal/trace"
@@ -81,7 +82,11 @@ type Suite struct {
 	mu      sync.Mutex
 	results map[string]*stats.Run
 	views   map[string]cilkview.Report
-	flight  map[string]*flightCall
+	// openResults caches open-system runs (OpenRun); keyed separately
+	// because their identity includes the arrival spec and a per-cell
+	// fault scenario rather than the suite-wide one.
+	openResults map[string]*openload.Result
+	flight      map[string]*flightCall
 	// subs memoizes the derived suites Table5/Fig4 need (same settings,
 	// different size or grain) so Prewarm and the serial render pass
 	// warm and read the same caches.
@@ -107,19 +112,21 @@ type flightCall struct {
 	done chan struct{}
 	run  *stats.Run
 	view cilkview.Report
+	open *openload.Result
 	err  error
 }
 
 // NewSuite returns a verifying suite at the given size.
 func NewSuite(size apps.Size) *Suite {
 	return &Suite{
-		Size:       size,
-		Verify:     true,
-		results:    make(map[string]*stats.Run),
-		views:      make(map[string]cilkview.Report),
-		flight:     make(map[string]*flightCall),
-		subs:       make(map[string]*Suite),
-		progressMu: &sync.Mutex{},
+		Size:        size,
+		Verify:      true,
+		results:     make(map[string]*stats.Run),
+		views:       make(map[string]cilkview.Report),
+		openResults: make(map[string]*openload.Result),
+		flight:      make(map[string]*flightCall),
+		subs:        make(map[string]*Suite),
+		progressMu:  &sync.Mutex{},
 	}
 }
 

@@ -160,8 +160,10 @@ func benchSuite(size apps.Size, names []string, progress io.Writer) (SuiteBench,
 // HostBench measures the current binary (kernel microbenchmark plus
 // the serial table3 workload at size), merges the result into the
 // BENCH file at outPath — preserving any existing "before" baseline —
-// and prints a summary to w.
-func HostBench(w io.Writer, size apps.Size, names []string, outPath string, progress io.Writer) error {
+// and prints a summary to w. When historyPath is non-empty the same
+// measurement is also appended as a per-commit entry to the cumulative
+// trajectory file there (see AppendTrajectory).
+func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath string, commit BenchCommit, progress io.Writer) error {
 	rep := &HostBenchReport{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -203,6 +205,11 @@ func HostBench(w io.Writer, size apps.Size, names []string, outPath string, prog
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
+	if historyPath != "" {
+		if err := AppendTrajectory(historyPath, rep, commit, time.Now()); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(w, "kernel:  %.0f events/s, %.1f ns/event, %.3f allocs/event\n",
 		rep.Kernel.EventsPerSec, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent)
@@ -215,5 +222,8 @@ func HostBench(w io.Writer, size apps.Size, names []string, outPath string, prog
 			file.Table3WallSpeedup, file.KernelAllocsPerEventRatio)
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
+	if historyPath != "" {
+		fmt.Fprintf(w, "appended trajectory entry to %s\n", historyPath)
+	}
 	return nil
 }

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// This file maintains the cumulative benchmark trajectory: where a
+// BENCH_*.json carries one before/after pair for a single PR, the
+// trajectory file (BENCH.json) appends one entry per commit, in the
+// same shape the benchmark-action ecosystem renders, so the repo's
+// host-performance history is a single growing series rather than a
+// set of disconnected pairs.
+
+// BenchCommit identifies the commit a trajectory entry measures.
+type BenchCommit struct {
+	ID        string `json:"id"`
+	Message   string `json:"message"`
+	Timestamp string `json:"timestamp"`
+}
+
+// TrajectoryBench is one named measurement inside an entry.
+type TrajectoryBench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// TrajectoryEntry is one commit's worth of measurements.
+type TrajectoryEntry struct {
+	Commit  BenchCommit       `json:"commit"`
+	Date    int64             `json:"date"` // milliseconds since epoch
+	Tool    string            `json:"tool"`
+	Benches []TrajectoryBench `json:"benches"`
+}
+
+// TrajectoryFile is the on-disk BENCH.json format.
+type TrajectoryFile struct {
+	LastUpdate int64                        `json:"lastUpdate"`
+	RepoURL    string                       `json:"repoUrl"`
+	Entries    map[string][]TrajectoryEntry `json:"entries"`
+}
+
+// trajectorySuite is the series every paperbench bench run appends to.
+const trajectorySuite = "paperbench host throughput"
+
+// trajectoryBenches flattens a report into the named series. Names are
+// stable across PRs — renaming one would fork its plotted history.
+func trajectoryBenches(rep *HostBenchReport) []TrajectoryBench {
+	return []TrajectoryBench{
+		{Name: "kernel ns/event", Value: rep.Kernel.NsPerEvent, Unit: "ns/event"},
+		{Name: "kernel allocs/event", Value: rep.Kernel.AllocsPerEvent, Unit: "allocs/event"},
+		{Name: "table3 serial wall", Value: rep.Table3Serial.WallSec, Unit: "s"},
+		{Name: "table3 sim-cycles/sec", Value: rep.Table3Serial.SimCyclesPerSec, Unit: "cycles/s"},
+		{Name: "table3 events/sec", Value: rep.Table3Serial.EventsPerSec, Unit: "events/s"},
+		{Name: "table3 allocs/event", Value: rep.Table3Serial.AllocsPerEvent, Unit: "allocs/event"},
+	}
+}
+
+// AppendTrajectory appends one measurement of commit to the trajectory
+// file at path, creating the file if it does not exist. Entries for
+// the same commit ID are replaced rather than duplicated, so re-running
+// `make bench` before committing does not stutter the series.
+func AppendTrajectory(path string, rep *HostBenchReport, commit BenchCommit, now time.Time) error {
+	var file TrajectoryFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench: existing %s is not a trajectory file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if file.Entries == nil {
+		file.Entries = map[string][]TrajectoryEntry{}
+	}
+	if file.RepoURL == "" {
+		file.RepoURL = "local"
+	}
+
+	entry := TrajectoryEntry{
+		Commit:  commit,
+		Date:    now.UnixMilli(),
+		Tool:    "go",
+		Benches: trajectoryBenches(rep),
+	}
+	series := file.Entries[trajectorySuite]
+	replaced := false
+	for i := range series {
+		if commit.ID != "" && series[i].Commit.ID == commit.ID {
+			series[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		series = append(series, entry)
+	}
+	file.Entries[trajectorySuite] = series
+	file.LastUpdate = entry.Date
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

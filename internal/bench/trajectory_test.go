@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func trajReport(ns float64) *HostBenchReport {
+	return &HostBenchReport{
+		Date:      "2026-08-08",
+		GoVersion: "go-test",
+		HostCPUs:  8,
+		Size:      "test",
+		Kernel:    KernelBench{Events: 100, NsPerEvent: ns, EventsPerSec: 1e9 / ns, AllocsPerEvent: 0.5},
+		Table3Serial: SuiteBench{
+			WallSec: 1.5, SimCycles: 1000, SimCyclesPerSec: 666, EventsFired: 2000,
+			EventsPerSec: 1333, AllocsPerEvent: 0.25,
+		},
+	}
+}
+
+// TestAppendTrajectory grows a fresh trajectory file across two commits
+// and checks the series accumulates in order with the expected shape.
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+	c1 := BenchCommit{ID: "aaa", Message: "first", Timestamp: "2026-08-01T12:00:00Z"}
+	if err := AppendTrajectory(path, trajReport(50), c1, t0); err != nil {
+		t.Fatal(err)
+	}
+	c2 := BenchCommit{ID: "bbb", Message: "second", Timestamp: "2026-08-02T12:00:00Z"}
+	if err := AppendTrajectory(path, trajReport(40), c2, t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file TrajectoryFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trajectory file is not valid JSON: %v\n%s", err, data)
+	}
+	series := file.Entries[trajectorySuite]
+	if len(series) != 2 {
+		t.Fatalf("expected 2 entries, got %d", len(series))
+	}
+	if series[0].Commit.ID != "aaa" || series[1].Commit.ID != "bbb" {
+		t.Fatalf("entries out of order: %q, %q", series[0].Commit.ID, series[1].Commit.ID)
+	}
+	if series[0].Tool != "go" {
+		t.Errorf("tool = %q, want go", series[0].Tool)
+	}
+	if file.LastUpdate != series[1].Date {
+		t.Errorf("lastUpdate %d != newest entry date %d", file.LastUpdate, series[1].Date)
+	}
+	if len(series[0].Benches) == 0 {
+		t.Fatal("entry has no benches")
+	}
+	found := false
+	for _, b := range series[1].Benches {
+		if b.Name == "kernel ns/event" {
+			found = true
+			if b.Value != 40 || b.Unit != "ns/event" {
+				t.Errorf("kernel ns/event = %g %s, want 40 ns/event", b.Value, b.Unit)
+			}
+		}
+	}
+	if !found {
+		t.Error("kernel ns/event series missing")
+	}
+}
+
+// TestAppendTrajectoryReplacesSameCommit re-measures the same commit:
+// the entry must be replaced in place, not duplicated.
+func TestAppendTrajectoryReplacesSameCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	c := BenchCommit{ID: "aaa", Message: "same", Timestamp: "2026-08-01T12:00:00Z"}
+	if err := AppendTrajectory(path, trajReport(50), c, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, trajReport(45), c, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file TrajectoryFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	series := file.Entries[trajectorySuite]
+	if len(series) != 1 {
+		t.Fatalf("expected 1 entry after re-measuring the same commit, got %d", len(series))
+	}
+	if got := series[0].Benches[0].Value; got != 45 {
+		t.Errorf("entry not replaced: kernel ns/event = %g, want 45", got)
+	}
+}
+
+// TestAppendTrajectoryRejectsGarbage refuses to clobber a file that is
+// not a trajectory file.
+func TestAppendTrajectoryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := BenchCommit{ID: "aaa"}
+	if err := AppendTrajectory(path, trajReport(50), c, time.Now()); err == nil {
+		t.Fatal("expected an error appending to a non-JSON file")
+	}
+}

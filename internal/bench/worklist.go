@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bigtiny/internal/apps"
+	"bigtiny/internal/openload"
 )
 
 // Work names one unit a render target needs before it can draw: either
@@ -18,11 +19,21 @@ type Work struct {
 	Size  apps.Size
 	Grain int
 	View  bool // Cilkview analysis instead of a simulation
+
+	// Open, when set, makes this item an open-system cell (OpenRun of
+	// the spec on Cfg under OpenScenario/OpenFaultSeed) instead of a
+	// closed-loop simulation; App/Size/Grain/View are unused.
+	Open          *openload.Spec
+	OpenScenario  string
+	OpenFaultSeed uint64
 }
 
 // key collapses duplicate work items (e.g. the bT/MESI baseline every
 // figure shares).
 func (w Work) key() string {
+	if w.Open != nil {
+		return fmt.Sprintf("o|%s|%s|%d|%s", w.Cfg, w.OpenScenario, w.OpenFaultSeed, w.Open.Key())
+	}
 	v := "r"
 	if w.View {
 		v = "v"
@@ -64,12 +75,13 @@ func (s *Suite) Prewarm(work []Work, jobs int) error {
 		go func(w Work) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			sub := s.at(w.Size, w.Grain)
 			var err error
-			if w.View {
-				_, err = sub.View(w.App)
+			if w.Open != nil {
+				_, err = s.OpenRun(w.Cfg, w.OpenScenario, w.OpenFaultSeed, *w.Open)
+			} else if w.View {
+				_, err = s.at(w.Size, w.Grain).View(w.App)
 			} else {
-				_, err = sub.Run(w.Cfg, w.App)
+				_, err = s.at(w.Size, w.Grain).Run(w.Cfg, w.App)
 			}
 			if err != nil {
 				errMu.Lock()
@@ -214,6 +226,8 @@ func (s *Suite) TargetWork(target string, appNames []string) ([]Work, bool) {
 		return s.ULIWork(appNames), true
 	case "energy":
 		return s.EnergyWork(appNames), true
+	case "open":
+		return s.OpenWork(DefaultOpenSweep(s.Size)), true
 	}
 	return nil, false
 }

@@ -181,6 +181,30 @@ func (c *Core) poll() {
 	}
 }
 
+// idleChunk bounds how long IdleUntil sleeps between interrupt polls.
+const idleChunk = 64
+
+// IdleUntil advances the core to cycle t (a no-op when t has passed),
+// attributing the wait to Others. The sleep is chopped into short
+// chunks with a ULI poll at every boundary, so a core idling between
+// open-system arrivals still services incoming steal requests promptly
+// — a monolithic sleep would hold DTS thieves hostage for its whole
+// duration. Handler time spent inside a poll counts toward t.
+func (c *Core) IdleUntil(t sim.Time) {
+	for {
+		c.poll()
+		now := c.proc.Now()
+		if now >= t {
+			return
+		}
+		next := now + idleChunk
+		if next > t {
+			next = t
+		}
+		c.attribute(ClassOther, next)
+	}
+}
+
 // Offline reports whether this core has fail-stopped (fault scenario
 // core offlining). The first true result latches the transition and
 // records the injection. The runtime checks it at scheduling-loop

@@ -107,6 +107,20 @@ func Configs() map[string]Config {
 	bt8.Name = "bT8/HCC-DTS-gwb"
 	add(bt8)
 
+	// Software-stealing 8-core variants for the open-system latency
+	// sweeps: same mesh and deadline as bT8, differing only in tiny-core
+	// protocol / DTS so degradation curves isolate the coherence choice.
+	bt8m := bt8
+	bt8m.TinyProto = cache.MESI
+	bt8m.DTS = false
+	bt8m.Name = "bT8/MESI"
+	add(bt8m)
+
+	bt8g := bt8
+	bt8g.DTS = false
+	bt8g.Name = "bT8/HCC-gwb"
+	add(bt8g)
+
 	bt256 := base256Core()
 	bt256.Name = "bT256/MESI"
 	add(bt256)

@@ -32,6 +32,10 @@ type Env interface {
 
 	// Compute executes n abstract non-memory instructions.
 	Compute(n int)
+	// IdleUntil parks the thread until cycle t (no-op when t has
+	// passed), remaining responsive to interrupts. Open-system load
+	// drivers use it to sleep between arrivals without burning compute.
+	IdleUntil(t sim.Time)
 	// SetFunc tags subsequent Compute instructions as belonging to
 	// function fid (instruction-cache modelling).
 	SetFunc(fid, footprintBytes int)
@@ -85,6 +89,9 @@ func (e *SimEnv) Now() sim.Time { return e.Core.Now() }
 
 // Compute burns n abstract instructions on the core.
 func (e *SimEnv) Compute(n int) { e.Core.Compute(n) }
+
+// IdleUntil parks the core until cycle t, polling for interrupts.
+func (e *SimEnv) IdleUntil(t sim.Time) { e.Core.IdleUntil(t) }
 
 // SetFunc switches the instruction-cache function context.
 func (e *SimEnv) SetFunc(fid, footprintBytes int) { e.Core.SetFunc(fid, footprintBytes) }
@@ -158,6 +165,9 @@ func (e *NativeEnv) Now() sim.Time { return 0 }
 
 // Compute counts n instructions.
 func (e *NativeEnv) Compute(n int) { e.Insts += uint64(n) }
+
+// IdleUntil is a no-op natively: there is no clock to wait on.
+func (e *NativeEnv) IdleUntil(t sim.Time) {}
 
 // SetFunc is a no-op natively.
 func (e *NativeEnv) SetFunc(fid, footprintBytes int) {}

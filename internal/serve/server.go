@@ -41,6 +41,7 @@ import (
 	"bigtiny/internal/bench"
 	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
+	"bigtiny/internal/openload"
 	"bigtiny/internal/sim"
 	"bigtiny/internal/store"
 )
@@ -79,17 +80,48 @@ type Config struct {
 // "big", "empty", "unit"); Faults a fault.Scenarios name. FaultSeed
 // defaults to 1 when a scenario is set (matching the CLIs) and is
 // forced to 0 otherwise, so equal tuples always hit equal cache keys.
+//
+// Kind selects the job family: "" or "run" is a closed-loop (config,
+// app) simulation; "open" is an open-system serving run, which takes
+// the Workload/Arrival/RatePerKCycle/Requests/Seed/MaxInFlight fields
+// instead of App/Size/Grain.
 type JobRequest struct {
+	Kind      string `json:"kind,omitempty"`
 	Config    string `json:"config"`
-	App       string `json:"app"`
-	Size      string `json:"size"`
+	App       string `json:"app,omitempty"`
+	Size      string `json:"size,omitempty"`
 	Grain     int    `json:"grain,omitempty"`
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
 	// DeadlineCycles overrides the server's default per-job
 	// simulated-cycle deadline for this job only.
 	DeadlineCycles uint64 `json:"deadline_cycles,omitempty"`
+
+	// Open-system fields (Kind == "open").
+	Workload      string  `json:"workload,omitempty"`
+	Arrival       string  `json:"arrival,omitempty"`
+	RatePerKCycle float64 `json:"rate_per_kcycle,omitempty"`
+	Requests      int     `json:"requests,omitempty"`
+	Seed          uint64  `json:"seed,omitempty"`
+	MaxInFlight   int     `json:"max_inflight,omitempty"`
 }
+
+// openSpec builds the openload spec an "open" job describes.
+func openSpec(req JobRequest) openload.Spec {
+	return openload.Spec{
+		Workload:    req.Workload,
+		Arrival:     req.Arrival,
+		RatePerK:    req.RatePerKCycle,
+		Requests:    req.Requests,
+		Seed:        req.Seed,
+		MaxInFlight: req.MaxInFlight,
+	}
+}
+
+// maxOpenRequests bounds one open job's arrival count: the request
+// carries a free parameter that scales simulation work, and a bounded
+// service must bound it upfront rather than let the watchdog find out.
+const maxOpenRequests = 4096
 
 // ErrorJSON is the structured error body for every non-200 response.
 // Kind is one of: invalid, overload, quarantined, draining, panic,
@@ -311,6 +343,12 @@ func writeErr(w http.ResponseWriter, status int, e *ErrorJSON) {
 // deliberately excluded — they never change a successful result's
 // bytes.
 func jobKey(req JobRequest) string {
+	if req.Kind == "open" {
+		return strings.Join([]string{
+			"v1-open", req.Config, openSpec(req).Key(),
+			req.Faults, fmt.Sprintf("%d", req.FaultSeed),
+		}, "|")
+	}
 	return strings.Join([]string{
 		"v1", req.Config, req.App, req.Size,
 		fmt.Sprintf("%d", req.Grain), req.Faults, fmt.Sprintf("%d", req.FaultSeed),
@@ -326,6 +364,33 @@ func validate(req *JobRequest) (apps.Size, *ErrorJSON) {
 	}
 	if _, err := machine.Lookup(req.Config); err != nil {
 		return fail(err)
+	}
+	switch req.Kind {
+	case "", "run":
+	case "open":
+		if req.App != "" || req.Size != "" || req.Grain != 0 {
+			return fail(fmt.Errorf("serve: open jobs take workload/arrival, not app/size/grain"))
+		}
+		if req.Requests > maxOpenRequests {
+			return fail(fmt.Errorf("serve: open job requests %d exceeds the per-job cap %d",
+				req.Requests, maxOpenRequests))
+		}
+		if err := openSpec(*req).Validate(); err != nil {
+			return fail(err)
+		}
+		if req.Faults == "" {
+			req.FaultSeed = 0
+		} else {
+			if _, err := fault.Lookup(req.Faults); err != nil {
+				return fail(err)
+			}
+			if req.FaultSeed == 0 {
+				req.FaultSeed = 1
+			}
+		}
+		return 0, nil
+	default:
+		return fail(fmt.Errorf("serve: unknown job kind %q (have run, open)", req.Kind))
 	}
 	if _, err := apps.ByName(req.App); err != nil {
 		return fail(err)
@@ -374,11 +439,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	key := jobKey(req)
 
 	// Disk tier first: a verified stored result needs no pool slot and
-	// no quarantine decision — stored bytes are from a past success.
+	// no quarantine decision — stored bytes are from a past success,
+	// which also means the cell is healthy: clear its failure streak so
+	// transient pre-store failures cannot quarantine a cell the store
+	// can answer for.
 	if s.store != nil {
 		if payload, ok := s.store.Get(key); ok {
 			s.accepted.Add(1)
 			s.completed.Add(1)
+			s.cellRecovered(key)
 			writeResult(w, payload, "store", key)
 			return
 		}
@@ -472,7 +541,13 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	suite := s.suiteFor(j.req, j.size)
-	payload, err := suite.ResultJSON(ctx, j.req.Config, j.req.App)
+	var payload []byte
+	var err error
+	if j.req.Kind == "open" {
+		payload, err = suite.OpenResultJSON(ctx, j.req.Config, j.req.Faults, j.req.FaultSeed, openSpec(j.req))
+	} else {
+		payload, err = suite.ResultJSON(ctx, j.req.Config, j.req.App)
+	}
 	if err != nil {
 		s.failed.Add(1)
 		kind, status := classify(err)

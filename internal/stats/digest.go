@@ -1,0 +1,117 @@
+package stats
+
+import "sort"
+
+// Digest is an exact latency digest: it keeps every sample (the
+// simulator is deterministic, so there is no reason to sketch or
+// sample) and answers nearest-rank percentile queries over the sorted
+// multiset. Merging is multiset union, so the result is independent of
+// both insertion order and merge order — two properties the open-load
+// determinism gates rely on.
+//
+// The zero value is an empty digest ready for use.
+type Digest struct {
+	samples []uint64
+	sorted  bool
+}
+
+// Add inserts one sample.
+func (d *Digest) Add(v uint64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Merge folds every sample of o into d (o is unchanged).
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Digest) Count() int { return len(d.samples) }
+
+// Sum returns the sample total.
+func (d *Digest) Sum() uint64 {
+	var s uint64
+	for _, v := range d.samples {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *Digest) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return float64(d.Sum()) / float64(len(d.samples))
+}
+
+// Max returns the largest sample (0 when empty).
+func (d *Digest) Max() uint64 {
+	d.ensureSorted()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[len(d.samples)-1]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (d *Digest) Min() uint64 {
+	d.ensureSorted()
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.samples[0]
+}
+
+func (d *Digest) ensureSorted() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+}
+
+// Quantile returns the exact nearest-rank q-quantile (0 < q <= 1): the
+// smallest sample v such that at least ceil(q*N) samples are <= v.
+// q outside (0, 1] clamps to the nearest end; an empty digest returns 0.
+func (d *Digest) Quantile(q float64) uint64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[n-1]
+	}
+	// Nearest rank: ceil(q*n), 1-based.
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return d.samples[rank-1]
+}
+
+// P50 returns the exact median (nearest-rank).
+func (d *Digest) P50() uint64 { return d.Quantile(0.50) }
+
+// P90 returns the exact 90th percentile.
+func (d *Digest) P90() uint64 { return d.Quantile(0.90) }
+
+// P99 returns the exact 99th percentile.
+func (d *Digest) P99() uint64 { return d.Quantile(0.99) }
+
+// P999 returns the exact 99.9th percentile.
+func (d *Digest) P999() uint64 { return d.Quantile(0.999) }

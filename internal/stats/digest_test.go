@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestDigestGolden pins exact percentiles on known inputs (nearest-rank
+// definition: the smallest sample with at least ceil(q*N) samples at or
+// below it).
+func TestDigestGolden(t *testing.T) {
+	cases := []struct {
+		name                 string
+		samples              []uint64
+		p50, p90, p99, p999  uint64
+		min, max             uint64
+		mean                 float64
+	}{
+		{
+			name:    "one-to-ten",
+			samples: []uint64{10, 1, 7, 3, 5, 9, 2, 8, 4, 6},
+			p50:     5, p90: 9, p99: 10, p999: 10,
+			min: 1, max: 10, mean: 5.5,
+		},
+		{
+			name:    "single",
+			samples: []uint64{42},
+			p50:     42, p90: 42, p99: 42, p999: 42,
+			min: 42, max: 42, mean: 42,
+		},
+		{
+			name:    "duplicates",
+			samples: []uint64{5, 5, 5, 5, 100},
+			p50:     5, p90: 100, p99: 100, p999: 100,
+			min: 5, max: 100, mean: 24,
+		},
+		{
+			// 100 samples 1..100: p99 is exactly the 99th value, not the max.
+			name:    "hundred",
+			samples: seq(1, 100),
+			p50:     50, p90: 90, p99: 99, p999: 100,
+			min: 1, max: 100, mean: 50.5,
+		},
+		{
+			// 1000 samples: p999 is the 999th value.
+			name:    "thousand",
+			samples: seq(1, 1000),
+			p50:     500, p90: 900, p99: 990, p999: 999,
+			min: 1, max: 1000, mean: 500.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d Digest
+			for _, v := range tc.samples {
+				d.Add(v)
+			}
+			if got := d.P50(); got != tc.p50 {
+				t.Errorf("P50 = %d, want %d", got, tc.p50)
+			}
+			if got := d.P90(); got != tc.p90 {
+				t.Errorf("P90 = %d, want %d", got, tc.p90)
+			}
+			if got := d.P99(); got != tc.p99 {
+				t.Errorf("P99 = %d, want %d", got, tc.p99)
+			}
+			if got := d.P999(); got != tc.p999 {
+				t.Errorf("P999 = %d, want %d", got, tc.p999)
+			}
+			if got := d.Min(); got != tc.min {
+				t.Errorf("Min = %d, want %d", got, tc.min)
+			}
+			if got := d.Max(); got != tc.max {
+				t.Errorf("Max = %d, want %d", got, tc.max)
+			}
+			if got := d.Mean(); got != tc.mean {
+				t.Errorf("Mean = %g, want %g", got, tc.mean)
+			}
+			if got := d.Count(); got != len(tc.samples) {
+				t.Errorf("Count = %d, want %d", got, len(tc.samples))
+			}
+		})
+	}
+}
+
+func seq(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestDigestEmpty checks the zero-value digest answers without panics.
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Count() != 0 || d.P50() != 0 || d.P999() != 0 || d.Max() != 0 || d.Mean() != 0 {
+		t.Fatalf("empty digest must answer zeros: count=%d p50=%d", d.Count(), d.P50())
+	}
+	d.Merge(nil)
+	d.Merge(&Digest{})
+	if d.Count() != 0 {
+		t.Fatalf("merging empty digests changed the count: %d", d.Count())
+	}
+}
+
+// naiveQuantile is the reference nearest-rank implementation the
+// property test checks Digest against.
+func naiveQuantile(samples []uint64, q float64) uint64 {
+	s := append([]uint64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s[rank-1]
+}
+
+// TestDigestProperties checks, over random sample sets: (1) every
+// quantile equals the naive sorted-reference answer exactly, (2)
+// quantiles are monotone in rank, and (3) the digest is merge-order
+// independent (any partition, merged in any order, answers identically).
+func TestDigestProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		samples := make([]uint64, n)
+		for i := range samples {
+			samples[i] = uint64(rng.Intn(1_000_000))
+		}
+
+		var whole Digest
+		for _, v := range samples {
+			whole.Add(v)
+		}
+
+		// (1) exactness against the naive reference.
+		for _, q := range quantiles {
+			if got, want := whole.Quantile(q), naiveQuantile(samples, q); got != want {
+				t.Fatalf("trial %d: Quantile(%g) = %d, want %d (n=%d)", trial, q, got, want, n)
+			}
+		}
+
+		// (2) monotone in rank.
+		prev := uint64(0)
+		for _, q := range quantiles {
+			v := whole.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %d < previous %d (not monotone)", trial, q, v, prev)
+			}
+			prev = v
+		}
+
+		// (3) merge-order independence: split into 3 random chunks and
+		// merge them in two different orders.
+		cut1, cut2 := rng.Intn(n+1), rng.Intn(n+1)
+		if cut1 > cut2 {
+			cut1, cut2 = cut2, cut1
+		}
+		parts := [][]uint64{samples[:cut1], samples[cut1:cut2], samples[cut2:]}
+		digests := make([]*Digest, 3)
+		for i, p := range parts {
+			digests[i] = &Digest{}
+			for _, v := range p {
+				digests[i].Add(v)
+			}
+		}
+		var fwd, rev Digest
+		fwd.Merge(digests[0])
+		fwd.Merge(digests[1])
+		fwd.Merge(digests[2])
+		rev.Merge(digests[2])
+		rev.Merge(digests[0])
+		rev.Merge(digests[1])
+		for _, q := range quantiles {
+			a, b, w := fwd.Quantile(q), rev.Quantile(q), whole.Quantile(q)
+			if a != w || b != w {
+				t.Fatalf("trial %d: merge-order dependence at q=%g: fwd=%d rev=%d whole=%d",
+					trial, q, a, b, w)
+			}
+		}
+		if fwd.Count() != n || rev.Count() != n {
+			t.Fatalf("trial %d: merged counts %d/%d, want %d", trial, fwd.Count(), rev.Count(), n)
+		}
+	}
+}

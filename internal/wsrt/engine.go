@@ -3,6 +3,7 @@ package wsrt
 import (
 	"bigtiny/internal/cache"
 	"bigtiny/internal/mem"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/trace"
 )
 
@@ -494,10 +495,22 @@ func (c *Ctx) readRC(p mem.Addr) uint64 {
 
 // wait blocks until all of p's children have joined, executing local
 // and stolen tasks meanwhile (Fig 3's wait functions).
-func (c *Ctx) wait(p mem.Addr) {
+func (c *Ctx) wait(p mem.Addr) { c.waitDeadline(p, 0) }
+
+// waitDeadline is wait with an optional bail-out: when deadline is
+// nonzero and the clock reaches it while children are still
+// outstanding, the loop stops and reports false (the open-system
+// horizon cutoff). A zero deadline is exactly wait — the extra Go-side
+// branch costs no simulated cycles, so the hot path is unchanged.
+func (c *Ctx) waitDeadline(p mem.Addr, deadline sim.Time) bool {
 	rt := c.rt
+	drained := true
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
 	for c.readRC(p) > 0 {
+		if deadline != 0 && c.env.Now() >= deadline {
+			drained = false
+			break
+		}
 		c.env.Compute(c.rt.Costs.WaitIter)
 		if t := c.popLocal(); t != 0 {
 			c.execLocal(t)
@@ -521,6 +534,7 @@ func (c *Ctx) wait(p mem.Addr) {
 		}
 	}
 	c.env.SetFunc(fidRuntime, rt.footprint(fidRuntime))
+	return drained
 }
 
 // workerLoop is the top-level scheduling loop of a non-main thread: it
