@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench
+.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke bench bench-check
 
 all: ci
 
-ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke
+ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke
 
 vet:
 	$(GO) vet ./...
@@ -88,3 +88,17 @@ serve-smoke:
 # "Profiling and benchmarking").
 bench:
 	$(GO) run ./cmd/paperbench bench
+
+# Perf-regression gate: re-measure every series in bench/gates.toml and
+# compare against the baselines recorded in BENCH.json; exits non-zero
+# only when a series' whole confidence interval lands past its
+# threshold (see EXPERIMENTS.md "Regression gating"). Bless intentional
+# changes with:  go run ./cmd/paperbench bench-check -update-baseline
+bench-check:
+	$(GO) run ./cmd/paperbench bench-check
+
+# Single-cell deterministic gate for ci: exercises the whole measure →
+# summarize → compare → verdict → exit-code pipeline in under a second,
+# on bit-identical simulated cycles, so it cannot flake on any host.
+bench-check-smoke:
+	$(GO) run ./cmd/paperbench bench-check -gates bench/gates-smoke.toml -iterations 2

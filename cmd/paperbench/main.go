@@ -6,6 +6,8 @@
 //	           [-fault-seed N] [-deadline cycles] [-cpuprofile f]
 //	           [-memprofile f] [-v] [targets...]
 //	paperbench serve [simd flags]
+//	paperbench bench-check [-gates f] [-iterations N] [-confidence c]
+//	           [-bench-history f] [-check-json f] [-update-baseline] [-v]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
 // chaos open bench all (default: all except table5, which simulates a
@@ -20,7 +22,18 @@
 // measures host throughput (simulated cycles/sec, kernel events/sec,
 // allocs/event), writes it to -bench-out, and appends a per-commit
 // entry to the cumulative -bench-history trajectory (see EXPERIMENTS.md
-// "Profiling and benchmarking").
+// "Profiling and benchmarking"), with a one-line hint when the new
+// numbers slipped enough that the regression gate would likely flag
+// them.
+//
+// The bench-check subcommand is the perf-regression gate: it
+// re-measures every series the -gates worklist declares (N iterations
+// each), compares the median's confidence interval against the
+// baseline recorded in the BENCH.json trajectory, prints a per-series
+// verdict table (ok / regressed / improved / too-noisy / no-baseline),
+// and exits non-zero iff a series significantly regressed past its
+// threshold. Intentional changes are blessed with -update-baseline
+// (see EXPERIMENTS.md "Regression gating").
 //
 // The 143 simulations behind the full evaluation are independent, so
 // paperbench fans them out over -j host workers (default: all host
@@ -53,7 +66,64 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(serve.Main("paperbench serve", os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-check" {
+		os.Exit(benchCheck(os.Args[2:]))
+	}
 	os.Exit(run())
+}
+
+// benchCheck is the perf-regression gate: re-measure every series the
+// gates worklist declares, compare each against its BENCH.json
+// trajectory baseline with a median-CI significance test, and exit
+// non-zero iff something significantly regressed (see EXPERIMENTS.md
+// "Regression gating").
+func benchCheck(args []string) int {
+	fs := flag.NewFlagSet("paperbench bench-check", flag.ContinueOnError)
+	gatesPath := fs.String("gates", "bench/gates.toml", "gates worklist (bent-style TOML; see EXPERIMENTS.md)")
+	iterations := fs.Int("iterations", bench.DefaultCheckIterations,
+		"samples per gated series (a gate's own iterations key wins)")
+	confidence := fs.Float64("confidence", bench.DefaultCheckConfidence, "median confidence-interval level")
+	history := fs.String("bench-history", "BENCH.json", "trajectory file holding the baselines")
+	checkJSON := fs.String("check-json", "", "also write the machine-readable verdict report to this file")
+	update := fs.Bool("update-baseline", false,
+		"bless the fresh medians as the new baselines (verdicts still report against the old ones)")
+	verbose := fs.Bool("v", false, "print per-iteration progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench bench-check: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	gates, err := bench.LoadGates(*gatesPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench bench-check:", err)
+		return 2
+	}
+	opts := bench.CheckOptions{
+		Iterations:     *iterations,
+		Confidence:     *confidence,
+		UpdateBaseline: *update,
+		Commit:         gitCommit(),
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	rep, err := bench.BenchCheck(os.Stdout, gates, *history, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench bench-check:", err)
+		return 1
+	}
+	if *checkJSON != "" {
+		if err := bench.WriteCheckJSON(*checkJSON, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench bench-check:", err)
+			return 1
+		}
+	}
+	if rep.Failed() {
+		return 1
+	}
+	return 0
 }
 
 func run() int {
@@ -275,7 +345,9 @@ func run() int {
 
 // gitCommit identifies HEAD for the benchmark trajectory, best-effort:
 // outside a git checkout (or without git on PATH) the entry is still
-// recorded, just unattributed.
+// recorded, just unattributed with ID "unknown" — the trajectory never
+// dedups on that ID, so successive unattributed runs accumulate
+// instead of silently replacing each other.
 func gitCommit() bench.BenchCommit {
 	out, err := exec.Command("git", "log", "-1", "--format=%H%n%s%n%cI").Output()
 	if err != nil {

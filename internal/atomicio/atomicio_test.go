@@ -1,0 +1,90 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileReplaces covers the plain paths: creating a new file and
+// replacing an existing one, with the requested permissions.
+func TestWriteFileReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("content = %q, want %q", data, "two")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("perm = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestWriteFileCrashMidWrite injects a crash after the temp file holds
+// the new bytes but before the rename: the destination must still carry
+// the old content in full — a half-written file is never observed — and
+// the only residue is an orphan temp file.
+func TestWriteFileCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := WriteFile(path, []byte("intact old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	TestHookBeforeRename = func() { panic("injected crash before rename") }
+	defer func() { TestHookBeforeRename = nil }()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		WriteFile(path, []byte("NEW"), 0o644)
+	}()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "intact old content" {
+		t.Fatalf("destination changed across a mid-write crash: %q", data)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			orphans++
+		}
+	}
+	if orphans != 1 {
+		t.Fatalf("expected exactly one orphan temp file, found %d", orphans)
+	}
+}
+
+// TestWriteFileMissingDir propagates the error without touching
+// anything (no destination is created out of thin air).
+func TestWriteFileMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "f.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected an error writing into a missing directory")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after failed write: %v", err)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"bigtiny/internal/apps"
+	"bigtiny/internal/atomicio"
 	"bigtiny/internal/sim"
 )
 
@@ -107,10 +109,13 @@ func benchKernel(n int) KernelBench {
 // (the `paperbench -j 1 table3` workload) on a fresh suite and
 // measures host throughput. Simulated results are the usual
 // bit-identical ones; only wall time and allocation counts vary by
-// host.
-func benchSuite(size apps.Size, names []string, progress io.Writer) (SuiteBench, error) {
+// host. hook is the suite's SimHook (test injection; nil outside the
+// gate tests), and a fresh suite per call means repeated iterations
+// re-simulate instead of reading a warm cache.
+func benchSuite(size apps.Size, names []string, hook func(cfgName, appName string), progress io.Writer) (SuiteBench, error) {
 	s := NewSuite(size)
 	s.Progress = progress
+	s.SimHook = hook
 	work := s.Table3Work(names)
 
 	var m0, m1 runtime.MemStats
@@ -157,31 +162,46 @@ func benchSuite(size apps.Size, names []string, progress io.Writer) (SuiteBench,
 	return b, nil
 }
 
-// HostBench measures the current binary (kernel microbenchmark plus
-// the serial table3 workload at size), merges the result into the
-// BENCH file at outPath — preserving any existing "before" baseline —
-// and prints a summary to w. When historyPath is non-empty the same
-// measurement is also appended as a per-commit entry to the cumulative
-// trajectory file there (see AppendTrajectory).
-func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath string, commit BenchCommit, progress io.Writer) error {
-	rep := &HostBenchReport{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		HostCPUs:  runtime.NumCPU(),
-		Size:      size.String(),
-	}
-	rep.Kernel = benchKernel(2_000_000)
-	var err error
-	rep.Table3Serial, err = benchSuite(size, names, progress)
-	if err != nil {
-		return fmt.Errorf("bench: %w", err)
-	}
+// cellSample is one iteration's measurement of a single gated
+// (config, app, size, grain) cell.
+type cellSample struct {
+	WallSec   float64
+	SimCycles uint64
+}
 
+// benchCell measures one simulation of app on cfg at size/grain. Each
+// call builds a fresh suite, so repeated iterations genuinely
+// re-simulate — the gate's variance estimate would be meaningless over
+// cache hits. Simulated cycles are deterministic; only the wall time
+// varies by host.
+func benchCell(size apps.Size, grain int, cfg, app string, hook func(cfgName, appName string), progress io.Writer) (cellSample, error) {
+	s := NewSuite(size)
+	s.Grain = grain
+	s.Progress = progress
+	s.SimHook = hook
+	t0 := time.Now()
+	r, err := s.Run(cfg, app)
+	if err != nil {
+		return cellSample{}, err
+	}
+	return cellSample{WallSec: time.Since(t0).Seconds(), SimCycles: uint64(r.Cycles)}, nil
+}
+
+// mergeBenchFile folds a fresh measurement into the BENCH file at
+// outPath: an existing "before" baseline section is preserved, "after"
+// and the derived ratios are rewritten, and the write is atomic so a
+// crash cannot leave a truncated file. A read failure other than
+// not-exist is an error — silently treating, say, a transient
+// permission failure as "no file yet" would discard the baseline on
+// the next write.
+func mergeBenchFile(outPath string, rep *HostBenchReport) (*BenchFile, error) {
 	var file BenchFile
 	if data, err := os.ReadFile(outPath); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
-			return fmt.Errorf("bench: existing %s is not a BENCH file: %w", outPath, err)
+			return nil, fmt.Errorf("bench: existing %s is not a BENCH file: %w", outPath, err)
 		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("bench: reading %s: %w", outPath, err)
 	}
 	file.After = rep
 	file.Table3WallSpeedup = 0
@@ -200,12 +220,99 @@ func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath
 	}
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return &file, nil
+}
+
+// hostSeriesLowerIsBetter gives the improvement direction of each
+// host-throughput trajectory series (trajectoryBenches names).
+var hostSeriesLowerIsBetter = map[string]bool{
+	"kernel ns/event":       true,
+	"kernel allocs/event":   true,
+	"table3 serial wall":    true,
+	"table3 sim-cycles/sec": false,
+	"table3 events/sec":     false,
+	"table3 allocs/event":   true,
+}
+
+// benchHintThreshold is the relative slip past which `paperbench
+// bench` warns that bench-check would likely flag the measurement.
+const benchHintThreshold = 0.10
+
+// benchHint compares a fresh report against the newest host-throughput
+// trajectory entry and returns a one-line heads-up naming every series
+// that slipped more than benchHintThreshold in its worse direction
+// ("" when none did). It is a point comparison — only the full
+// bench-check gate re-measures with confidence intervals — so it is
+// worded as a hint, not a verdict.
+func benchHint(traj *TrajectoryFile, rep *HostBenchReport) string {
+	entries := traj.Entries[trajectorySuite]
+	if len(entries) == 0 {
+		return ""
+	}
+	prev := map[string]float64{}
+	for _, b := range entries[len(entries)-1].Benches {
+		prev[b.Name] = b.Value
+	}
+	var slipped []string
+	for _, b := range trajectoryBenches(rep) {
+		base, ok := prev[b.Name]
+		if !ok || base <= 0 {
+			continue
+		}
+		delta := (b.Value - base) / base
+		if !hostSeriesLowerIsBetter[b.Name] {
+			delta = -delta
+		}
+		if delta > benchHintThreshold {
+			slipped = append(slipped, fmt.Sprintf("%s %+.1f%%", b.Name, 100*(b.Value-base)/base))
+		}
+	}
+	if len(slipped) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("hint: %s worsened >%.0f%% vs the last trajectory entry — a gated run may fail; see `paperbench bench-check`\n",
+		strings.Join(slipped, ", "), 100*benchHintThreshold)
+}
+
+// HostBench measures the current binary (kernel microbenchmark plus
+// the serial table3 workload at size), merges the result into the
+// BENCH file at outPath — preserving any existing "before" baseline —
+// and prints a summary to w. When historyPath is non-empty the same
+// measurement is also appended as a per-commit entry to the cumulative
+// trajectory file there (see AppendTrajectory), after a one-line hint
+// if the new numbers slipped enough that the regression gate would
+// likely flag them.
+func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath string, commit BenchCommit, progress io.Writer) error {
+	rep := &HostBenchReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		HostCPUs:  runtime.NumCPU(),
+		Size:      size.String(),
+	}
+	rep.Kernel = benchKernel(2_000_000)
+	var err error
+	rep.Table3Serial, err = benchSuite(size, names, nil, progress)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+
+	file, err := mergeBenchFile(outPath, rep)
+	if err != nil {
 		return err
 	}
 	if historyPath != "" {
+		traj, err := LoadTrajectory(historyPath)
+		if err != nil {
+			return err
+		}
+		if hint := benchHint(traj, rep); hint != "" {
+			fmt.Fprint(w, hint)
+		}
 		if err := AppendTrajectory(historyPath, rep, commit, time.Now()); err != nil {
 			return err
 		}

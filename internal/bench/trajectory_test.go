@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"bigtiny/internal/atomicio"
 )
 
 func trajReport(ns float64) *HostBenchReport {
@@ -114,5 +116,100 @@ func TestAppendTrajectoryRejectsGarbage(t *testing.T) {
 	c := BenchCommit{ID: "aaa"}
 	if err := AppendTrajectory(path, trajReport(50), c, time.Now()); err == nil {
 		t.Fatal("expected an error appending to a non-JSON file")
+	}
+}
+
+// TestAppendTrajectoryUnknownCommitNeverDedups: the no-git fallback
+// stamps entries "unknown"; replacing on that ID would collapse every
+// unattributed run into one entry and silently discard history.
+func TestAppendTrajectoryUnknownCommitNeverDedups(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for _, id := range []string{"unknown", "unknown", "", ""} {
+		if err := AppendTrajectory(path, trajReport(50), BenchCommit{ID: id}, t0); err != nil {
+			t.Fatal(err)
+		}
+		t0 = t0.Add(time.Hour)
+	}
+	file, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(file.Entries[trajectorySuite]); got != 4 {
+		t.Fatalf("expected 4 accumulated entries for unattributed commits, got %d", got)
+	}
+}
+
+// TestAppendTrajectoryReadErrorPropagates: a read failure other than
+// not-exist (here: the path is a directory) must be an error, not
+// treated as "no file yet" — that would clobber the perf history on
+// the next write.
+func TestAppendTrajectoryReadErrorPropagates(t *testing.T) {
+	dir := t.TempDir() // the "file" is a directory: ReadFile fails with EISDIR
+	if err := AppendTrajectory(dir, trajReport(50), BenchCommit{ID: "aaa"}, time.Now()); err == nil {
+		t.Fatal("expected a read error appending to a directory path")
+	}
+	if _, err := LoadTrajectory(dir); err == nil {
+		t.Fatal("expected LoadTrajectory to surface the read error")
+	}
+}
+
+// TestAppendTrajectoryCrashMidWrite injects a crash between writing
+// the temp file and renaming it over the trajectory: the previous
+// history must still be intact and fully parseable — never truncated,
+// never half the new content.
+func TestAppendTrajectoryCrashMidWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	if err := AppendTrajectory(path, trajReport(50), BenchCommit{ID: "aaa"}, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	atomicio.TestHookBeforeRename = func() { panic("simulated crash") }
+	defer func() { atomicio.TestHookBeforeRename = nil }()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the injected crash to propagate")
+			}
+		}()
+		_ = AppendTrajectory(path, trajReport(40), BenchCommit{ID: "bbb"}, t0.Add(time.Hour))
+	}()
+	atomicio.TestHookBeforeRename = nil
+
+	file, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatalf("trajectory corrupted by crashed append: %v", err)
+	}
+	series := file.Entries[trajectorySuite]
+	if len(series) != 1 || series[0].Commit.ID != "aaa" {
+		t.Fatalf("crashed append altered history: %+v", series)
+	}
+}
+
+// TestTrajectoryBaseline: the gate's baseline lookup returns the
+// newest value of a series and reports which commit recorded it.
+func TestTrajectoryBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	benches := func(v float64) []TrajectoryBench {
+		return []TrajectoryBench{{Name: "gate:kernel:ns_per_event", Value: v, Unit: "ns/event"}}
+	}
+	if err := AppendGateBaselines(path, benches(50), BenchCommit{ID: "aaa"}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendGateBaselines(path, benches(42), BenchCommit{ID: "bbb"}, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	file, err := LoadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, commit, ok := file.Baseline("gate:kernel:ns_per_event")
+	if !ok || v != 42 || commit != "bbb" {
+		t.Fatalf("Baseline = %g, %q, %v; want 42, bbb, true", v, commit, ok)
+	}
+	if _, _, ok := file.Baseline("gate:kernel:nonexistent"); ok {
+		t.Fatal("Baseline found a series that was never recorded")
 	}
 }

@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Digest is an exact latency digest: it keeps every sample (the
 // simulator is deterministic, so there is no reason to sketch or
@@ -90,11 +93,7 @@ func (d *Digest) Quantile(q float64) uint64 {
 	if q >= 1 {
 		return d.samples[n-1]
 	}
-	// Nearest rank: ceil(q*n), 1-based.
-	rank := int(q * float64(n))
-	if float64(rank) < q*float64(n) {
-		rank++
-	}
+	rank := nearestRank(q, n)
 	if rank < 1 {
 		rank = 1
 	}
@@ -102,6 +101,50 @@ func (d *Digest) Quantile(q float64) uint64 {
 		rank = n
 	}
 	return d.samples[rank-1]
+}
+
+// nearestRank returns the 1-based nearest rank ceil(q·n), computed
+// exactly. A float64 product rounds: 0.999*1000 evaluates to
+// 999.0000000000001, so a naive ceiling of the product bumps the rank
+// to 1000 and P999 over 1000 samples returns the max instead of the
+// 999th sample. Quantile arguments are decimals (0.5, 0.99, 0.999,
+// ...), so we first recover q as an exact decimal fraction num/10^k
+// (the float64 nearest to a short decimal round-trips through the
+// scaled division) and take the ceiling in integer arithmetic, which
+// cannot misround. A q that is no short decimal falls back to the
+// float product, corrected against its exact value via math.FMA — no
+// epsilon fudge in either path.
+func nearestRank(q float64, n int) int {
+	for den := int64(10); den <= 1_000_000_000; den *= 10 {
+		num := math.Round(q * float64(den))
+		if num < 1 || num >= float64(den) {
+			continue
+		}
+		if float64(num)/float64(den) != q {
+			continue
+		}
+		// rank = ceil(num*n/den), all exact in 64-bit integers:
+		// num < 1e9 and n is a sample count, so the product fits.
+		p := int64(num) * int64(n)
+		return int((p + den - 1) / den)
+	}
+	// Fallback: treat q as the exact binary value it is. prod carries
+	// the rounding error e = q·n - prod, which math.FMA computes
+	// exactly; correcting the ceiling against prod+e (as a real number,
+	// never re-rounded) makes the rank decision integer-exact. The
+	// nearby-value subtractions below are exact by Sterbenz's lemma.
+	prod := q * float64(n)
+	e := math.FMA(q, float64(n), -prod)
+	rank := int(math.Ceil(prod))
+	if float64(rank-1)-prod >= e {
+		// Rounding pushed prod just past an integer: rank-1 already
+		// satisfies rank-1 >= q·n.
+		rank--
+	} else if float64(rank)-prod < e {
+		// Rounding pulled prod down onto an integer: rank < q·n.
+		rank++
+	}
+	return rank
 }
 
 // P50 returns the exact median (nearest-rank).

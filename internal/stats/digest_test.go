@@ -105,16 +105,15 @@ func TestDigestEmpty(t *testing.T) {
 	}
 }
 
-// naiveQuantile is the reference nearest-rank implementation the
-// property test checks Digest against.
-func naiveQuantile(samples []uint64, q float64) uint64 {
+// refQuantile is the reference nearest-rank implementation the
+// property test checks Digest against: the quantile is given as the
+// exact rational num/den, so the rank ceil(q*n) is computed in integer
+// arithmetic with no possibility of float misrounding.
+func refQuantile(samples []uint64, num, den int64) uint64 {
 	s := append([]uint64(nil), samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	n := len(s)
-	rank := int(q * float64(n))
-	if float64(rank) < q*float64(n) {
-		rank++
-	}
+	n := int64(len(s))
+	rank := (num*n + den - 1) / den
 	if rank < 1 {
 		rank = 1
 	}
@@ -124,13 +123,67 @@ func naiveQuantile(samples []uint64, q float64) uint64 {
 	return s[rank-1]
 }
 
+// TestQuantileFloatBoundaries pins the q·n values where the float64
+// product rounds to the wrong side of an integer. The historical bug:
+// 0.999*1000 evaluates to 999.0000000000001, so a float ceiling
+// returned rank 1000 (the max) instead of the exact 999th sample.
+func TestQuantileFloatBoundaries(t *testing.T) {
+	cases := []struct {
+		q    float64
+		n    uint64
+		rank uint64 // expected 1-based nearest rank = ceil(q*n), exact
+	}{
+		{0.999, 1000, 999}, // product rounds up past 999
+		{0.999, 2000, 1998},
+		{0.9, 10, 9},   // 0.9*10 = 9.000000000000002 in float64
+		{0.9, 100, 90}, // 0.9*100 = 90.00000000000001 in float64
+		{0.07, 100, 7}, // 0.07*100 = 7.000000000000001 in float64
+		{0.29, 100, 29},
+		{0.58, 50, 29},
+		{0.1, 10, 1},
+		{0.001, 1000, 1},
+		{0.999, 1, 1},
+		{0.5, 2, 1},
+		{0.5, 3, 2},   // 1.5 -> ceil 2
+		{0.75, 4, 3},  // exact integer product
+		{0.25, 8, 2},  // exact binary fraction
+		{1.0 / 3, 3, 1}, // non-decimal q exercises the FMA fallback
+		{1.0 / 3, 6, 2},
+		{2.0 / 3, 3, 2},
+	}
+	for _, tc := range cases {
+		var d Digest
+		for v := uint64(1); v <= tc.n; v++ {
+			d.Add(v)
+		}
+		// Samples are 1..n, so the sample at rank r is r itself.
+		if got := d.Quantile(tc.q); got != tc.rank {
+			t.Errorf("Quantile(%v) over 1..%d = %d, want rank %d", tc.q, tc.n, got, tc.rank)
+		}
+	}
+}
+
 // TestDigestProperties checks, over random sample sets: (1) every
 // quantile equals the naive sorted-reference answer exactly, (2)
 // quantiles are monotone in rank, and (3) the digest is merge-order
 // independent (any partition, merged in any order, answers identically).
 func TestDigestProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	quantiles := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}
+	// Each quantile both as the float64 callers pass and as the exact
+	// rational the reference uses.
+	type qq struct {
+		q        float64
+		num, den int64
+	}
+	qqs := []qq{
+		{0.001, 1, 1000}, {0.01, 1, 100}, {0.1, 1, 10}, {0.25, 1, 4},
+		{0.5, 1, 2}, {0.75, 3, 4}, {0.9, 9, 10}, {0.99, 99, 100},
+		{0.999, 999, 1000}, {1.0, 1, 1},
+	}
+	quantiles := make([]float64, len(qqs))
+	for i, x := range qqs {
+		quantiles[i] = x.q
+	}
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + rng.Intn(500)
 		samples := make([]uint64, n)
@@ -143,10 +196,10 @@ func TestDigestProperties(t *testing.T) {
 			whole.Add(v)
 		}
 
-		// (1) exactness against the naive reference.
-		for _, q := range quantiles {
-			if got, want := whole.Quantile(q), naiveQuantile(samples, q); got != want {
-				t.Fatalf("trial %d: Quantile(%g) = %d, want %d (n=%d)", trial, q, got, want, n)
+		// (1) exactness against the integer-rational reference.
+		for _, x := range qqs {
+			if got, want := whole.Quantile(x.q), refQuantile(samples, x.num, x.den); got != want {
+				t.Fatalf("trial %d: Quantile(%g) = %d, want %d (n=%d)", trial, x.q, got, want, n)
 			}
 		}
 

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary summarizes repeated host-side measurements of one metric —
+// the N iterations `paperbench bench-check` runs per gated series. Host
+// numbers (wall seconds, ns/event) are noisy, so the regression gate
+// never compares single points: it compares a recorded baseline against
+// this summary's nonparametric confidence interval on the median, the
+// same order-statistic interval benchstat reports.
+type Summary struct {
+	sorted []float64
+}
+
+// NewSummary builds a summary over the samples (copied; NaNs dropped).
+func NewSummary(samples []float64) Summary {
+	s := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	return Summary{sorted: s}
+}
+
+// N returns the number of samples.
+func (s Summary) N() int { return len(s.sorted) }
+
+// Min returns the smallest sample (0 when empty).
+func (s Summary) Min() float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (s Summary) Max() float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Median returns the sample median (midpoint of the two central
+// samples for even N; 0 when empty).
+func (s Summary) Median() float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s.sorted[n/2]
+	}
+	return (s.sorted[n/2-1] + s.sorted[n/2]) / 2
+}
+
+// MedianCI returns the narrowest symmetric order-statistic confidence
+// interval for the population median with coverage at least the
+// requested confidence (e.g. 0.95), along with the coverage actually
+// achieved. The interval [x_(i+1), x_(n-i)] contains the median with
+// probability sum_{k=i+1}^{n-i-1} C(n,k)/2^n — pure rank arithmetic, no
+// distributional assumption, exactly benchstat's construction. Small
+// samples cannot reach high confidence (n=5 caps at 93.75%); the
+// widest interval [min, max] is then returned with its achieved
+// coverage, which callers can inspect. An empty summary returns zeros;
+// a single sample returns a degenerate interval with zero coverage.
+func (s Summary) MedianCI(confidence float64) (lo, hi, achieved float64) {
+	n := len(s.sorted)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	// Binomial(n, 1/2) pmf row, computed iteratively.
+	pmf := make([]float64, n+1)
+	p := math.Exp2(-float64(n)) // C(n,0)/2^n
+	for k := 0; k <= n; k++ {
+		pmf[k] = p
+		p = p * float64(n-k) / float64(k+1)
+	}
+	coverage := func(i int) float64 {
+		c := 0.0
+		for k := i + 1; k <= n-i-1; k++ {
+			c += pmf[k]
+		}
+		return c
+	}
+	// Start from the widest interval (i=0) and trim symmetrically while
+	// coverage stays at or above the target.
+	best := 0
+	for i := 1; 2*i < n; i++ {
+		if coverage(i) >= confidence {
+			best = i
+		} else {
+			break
+		}
+	}
+	if coverage(0) < confidence {
+		best = 0 // even [min, max] falls short; report what it achieves
+	}
+	return s.sorted[best], s.sorted[n-1-best], coverage(best)
+}
+
+// Verdict classifies one gated series after re-measurement.
+type Verdict string
+
+const (
+	// VerdictOK: the confidence interval stays within the allowed band
+	// around the baseline — no significant regression.
+	VerdictOK Verdict = "ok"
+	// VerdictRegressed: the entire confidence interval sits beyond the
+	// threshold on the worse side — a real regression, not noise.
+	VerdictRegressed Verdict = "regressed"
+	// VerdictImproved: the entire confidence interval sits beyond the
+	// threshold on the better side.
+	VerdictImproved Verdict = "improved"
+	// VerdictTooNoisy: the confidence interval straddles the regression
+	// bound — the measurement cannot distinguish a real regression from
+	// noise at this sample count.
+	VerdictTooNoisy Verdict = "too-noisy"
+)
+
+// CheckRegression decides whether a re-measured summary regressed
+// against a recorded baseline point. threshold is the allowed relative
+// change in the worse direction (0.10 = 10%); lowerIsBetter selects
+// which direction is worse. The decision uses the summary's median
+// confidence interval at the given confidence, so a single outlier
+// iteration cannot flip the verdict and an overlap with the allowed
+// band is never called a regression. baseline is expected to be
+// non-negative, which every gated metric is.
+func CheckRegression(baseline float64, s Summary, threshold, confidence float64, lowerIsBetter bool) Verdict {
+	if s.N() == 0 {
+		return VerdictTooNoisy
+	}
+	lo, hi, _ := s.MedianCI(confidence)
+	if baseline == 0 {
+		// No relative band exists around zero; any strictly nonzero
+		// interval on the worse side is a regression.
+		switch {
+		case lowerIsBetter && lo > 0:
+			return VerdictRegressed
+		case !lowerIsBetter && hi < 0:
+			return VerdictRegressed
+		default:
+			return VerdictOK
+		}
+	}
+	if lowerIsBetter {
+		worse := baseline * (1 + threshold)
+		better := baseline * (1 - threshold)
+		switch {
+		case lo > worse:
+			return VerdictRegressed
+		case hi < better:
+			return VerdictImproved
+		case hi <= worse:
+			return VerdictOK
+		default:
+			return VerdictTooNoisy
+		}
+	}
+	worse := baseline * (1 - threshold)
+	better := baseline * (1 + threshold)
+	switch {
+	case hi < worse:
+		return VerdictRegressed
+	case lo > better:
+		return VerdictImproved
+	case lo >= worse:
+		return VerdictOK
+	default:
+		return VerdictTooNoisy
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryOrderStats(t *testing.T) {
+	s := NewSummary([]float64{3, 1, 2, 5, 4})
+	if s.N() != 5 || s.Min() != 1 || s.Max() != 5 || s.Median() != 3 {
+		t.Fatalf("n=%d min=%g max=%g median=%g", s.N(), s.Min(), s.Max(), s.Median())
+	}
+	even := NewSummary([]float64{1, 2, 3, 10})
+	if got := even.Median(); got != 2.5 {
+		t.Fatalf("even median = %g, want 2.5", got)
+	}
+	empty := NewSummary(nil)
+	if empty.N() != 0 || empty.Median() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty summary must answer zeros")
+	}
+	nan := NewSummary([]float64{1, math.NaN(), 3})
+	if nan.N() != 2 || nan.Median() != 2 {
+		t.Fatalf("NaN not dropped: n=%d median=%g", nan.N(), nan.Median())
+	}
+}
+
+// TestMedianCI pins the order-statistic interval and its achieved
+// coverage on hand-computable sample counts.
+func TestMedianCI(t *testing.T) {
+	// n=5: the widest interval [min, max] achieves 1 - 2/32 = 0.9375,
+	// below 95%, so it is returned with that coverage.
+	s5 := NewSummary([]float64{10, 20, 30, 40, 50})
+	lo, hi, got := s5.MedianCI(0.95)
+	if lo != 10 || hi != 50 {
+		t.Fatalf("n=5 CI = [%g, %g], want [10, 50]", lo, hi)
+	}
+	if math.Abs(got-0.9375) > 1e-12 {
+		t.Fatalf("n=5 achieved coverage = %g, want 0.9375", got)
+	}
+	// n=5 at a modest 90% target: [x2, x4] covers sum k=2..3 = 20/32 =
+	// 0.625 < 0.9, so [min, max] is still the narrowest that qualifies.
+	if lo, hi, _ := s5.MedianCI(0.90); lo != 10 || hi != 50 {
+		t.Fatalf("n=5@90%% CI = [%g, %g], want [10, 50]", lo, hi)
+	}
+	// n=15 at 95%: trimming to [x4, x12] achieves sum k=4..11 of
+	// C(15,k)/2^15 = 0.96484375; [x5, x11] achieves ~0.8815, too low.
+	var v15 []float64
+	for i := 1; i <= 15; i++ {
+		v15 = append(v15, float64(i))
+	}
+	lo, hi, got = NewSummary(v15).MedianCI(0.95)
+	if lo != 4 || hi != 12 {
+		t.Fatalf("n=15 CI = [%g, %g], want [4, 12]", lo, hi)
+	}
+	if math.Abs(got-0.96484375) > 1e-9 {
+		t.Fatalf("n=15 achieved coverage = %g, want 0.96484375", got)
+	}
+	// Degenerate cases.
+	if lo, hi, got := NewSummary([]float64{7}).MedianCI(0.95); lo != 7 || hi != 7 || got != 0 {
+		t.Fatalf("n=1 CI = [%g, %g] @ %g, want [7, 7] @ 0", lo, hi, got)
+	}
+	if _, _, got := NewSummary(nil).MedianCI(0.95); got != 0 {
+		t.Fatalf("empty CI coverage = %g, want 0", got)
+	}
+}
+
+// TestCheckRegression covers the significance decision fixtures the
+// bench-check gate relies on: clearly regressed, clearly ok, clearly
+// improved, and too noisy to call.
+func TestCheckRegression(t *testing.T) {
+	const conf = 0.95
+	base := 100.0
+	cases := []struct {
+		name          string
+		samples       []float64
+		threshold     float64
+		lowerIsBetter bool
+		want          Verdict
+	}{
+		// Whole CI far above baseline*(1+t): a real slowdown.
+		{"clearly-regressed", []float64{148, 150, 152, 149, 151}, 0.10, true, VerdictRegressed},
+		// Whole CI inside the band: unchanged tree.
+		{"clearly-ok", []float64{99, 101, 100, 98, 102}, 0.10, true, VerdictOK},
+		// Whole CI below baseline*(1-t).
+		{"clearly-improved", []float64{60, 61, 59, 60, 62}, 0.10, true, VerdictImproved},
+		// CI straddles the regression bound: cannot call it.
+		{"too-noisy", []float64{80, 95, 112, 140, 70}, 0.10, true, VerdictTooNoisy},
+		// Median beyond the bound but CI dips back under it: still not
+		// a significant regression — too noisy, never "regressed".
+		{"noisy-median-over", []float64{210, 105, 230, 90, 220}, 0.50, true, VerdictTooNoisy},
+		// Deterministic metric: zero-width CI decides exactly.
+		{"deterministic-ok", []float64{100, 100}, 0.05, true, VerdictOK},
+		{"deterministic-regressed", []float64{106, 106}, 0.05, true, VerdictRegressed},
+		{"deterministic-boundary", []float64{105, 105}, 0.05, true, VerdictOK},
+		// Higher-is-better metrics mirror the decision.
+		{"throughput-regressed", []float64{50, 51, 49, 50, 52}, 0.10, false, VerdictRegressed},
+		{"throughput-ok", []float64{99, 100, 101, 100, 99}, 0.10, false, VerdictOK},
+		{"throughput-improved", []float64{140, 139, 141, 138, 142}, 0.10, false, VerdictImproved},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckRegression(base, NewSummary(tc.samples), tc.threshold, conf, tc.lowerIsBetter)
+			if got != tc.want {
+				t.Fatalf("CheckRegression(%v) = %s, want %s", tc.samples, got, tc.want)
+			}
+		})
+	}
+	if got := CheckRegression(100, NewSummary(nil), 0.1, conf, true); got != VerdictTooNoisy {
+		t.Fatalf("empty summary verdict = %s, want too-noisy", got)
+	}
+	// Zero baseline: any strictly positive lower-is-better interval is
+	// a regression; staying at zero is ok.
+	if got := CheckRegression(0, NewSummary([]float64{1, 2, 3}), 0.1, conf, true); got != VerdictRegressed {
+		t.Fatalf("zero-baseline regression verdict = %s", got)
+	}
+	if got := CheckRegression(0, NewSummary([]float64{0, 0, 0}), 0.1, conf, true); got != VerdictOK {
+		t.Fatalf("zero-baseline steady verdict = %s", got)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"bigtiny/internal/atomicio"
 )
 
 // magic identifies entry files and versions the on-disk format.
@@ -110,49 +112,17 @@ func (s *Store) put(key string, payload []byte) error {
 	if len(key) == 0 || len(key) > maxKeyLen {
 		return fmt.Errorf("key length %d out of range [1, %d]", len(key), maxKeyLen)
 	}
-	f, err := os.CreateTemp(s.root, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	// Any failure from here on removes the temp file; a crash instead
-	// leaves an orphan that pathFor can never resolve to.
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	var hdr []byte
-	hdr = append(hdr, magic[:]...)
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(key)))
-	hdr = append(hdr, key...)
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
+	buf := make([]byte, 0, len(magic)+4+len(key)+8+sha256.Size+len(payload))
+	buf = append(buf, magic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
 	sum := sha256.Sum256(payload)
-	hdr = append(hdr, sum[:]...)
-	if _, err := f.Write(hdr); err != nil {
-		return fail(err)
-	}
-	if _, err := f.Write(payload); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, s.pathFor(key)); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// Persist the rename itself. Directory fsync is best-effort — some
-	// filesystems refuse it — and losing it only re-runs a simulation.
-	if d, err := os.Open(s.root); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+	// atomicio does the temp+fsync+rename dance; a crash mid-write
+	// leaves an orphan ".tmp-" file that pathFor can never resolve to.
+	return atomicio.WriteFile(s.pathFor(key), buf, 0o600)
 }
 
 // Get returns the payload stored under key. ok is false on a genuine
