@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke bench bench-check
+.PHONY: all ci vet build test race parallel-smoke pdes-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke bench bench-check
 
 all: ci
 
-ci: vet build test race parallel-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke
+ci: vet build test race parallel-smoke pdes-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,17 @@ race:
 # (see EXPERIMENTS.md "Host-parallel runs").
 parallel-smoke:
 	$(GO) run ./cmd/paperbench -size test -apps cilk5-cs,ligra-bfs -j 4 table4 fig6 uli
+
+# Sharded-kernel equivalence gate: the same run serial and on a 4-way
+# conservative-lookahead sharded kernel must print byte-identical
+# reports (shard accounting goes to stderr precisely so this cmp can
+# hold; see DESIGN.md "Conservative-lookahead parallel simulation").
+pdes-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir/btsim" ./cmd/btsim && \
+	"$$dir/btsim" -config bT/HCC-DTS-gwb -app cilk5-cs -size test > "$$dir/serial.txt" && \
+	"$$dir/btsim" -config bT/HCC-DTS-gwb -app cilk5-cs -size test -shards 4 > "$$dir/sharded.txt" && \
+	cmp "$$dir/serial.txt" "$$dir/sharded.txt" && echo "pdes-smoke: serial and 4-shard runs identical"
 
 # A fast end-to-end chaos pass: two apps under every stock scenario on
 # the 8-core chaos machine, output verified against the serial
@@ -80,9 +91,10 @@ bench-smoke:
 serve-smoke:
 	$(GO) run ./cmd/simd -smoke
 
-# Regenerate BENCH_PR7.json and append this commit's measurement to the
-# cumulative BENCH.json trajectory: the kernel microbenchmark plus a
-# strictly serial ref-size table3 pass, measured on this host. The
+# Regenerate BENCH_PR9.json and append this commit's measurement to the
+# cumulative BENCH.json trajectory: the kernel microbenchmark, a
+# strictly serial ref-size table3 pass, and the same worklist on 2/4/8
+# conservative-lookahead kernel shards, measured on this host. The
 # PR file's "before" baseline section is preserved; only "after" and
 # the derived speedup ratios are rewritten (see EXPERIMENTS.md
 # "Profiling and benchmarking").

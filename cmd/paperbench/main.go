@@ -2,9 +2,9 @@
 //
 // Usage:
 //
-//	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-faults s1,s2]
-//	           [-fault-seed N] [-deadline cycles] [-cpuprofile f]
-//	           [-memprofile f] [-v] [targets...]
+//	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-shards K]
+//	           [-faults s1,s2] [-fault-seed N] [-deadline cycles]
+//	           [-cpuprofile f] [-memprofile f] [-v] [targets...]
 //	paperbench serve [simd flags]
 //	paperbench bench-check [-gates f] [-iterations N] [-confidence c]
 //	           [-bench-history f] [-check-json f] [-update-baseline] [-v]
@@ -39,7 +39,11 @@
 // paperbench fans them out over -j host workers (default: all host
 // cores) before rendering; tables and figures are always rendered
 // serially from the warmed cache, so the output is byte-identical at
-// any -j.
+// any -j. -shards K additionally splits each simulation's event kernel
+// into K conservative-lookahead shards (byte-identical at any K; 0
+// picks K from the host cores -j leaves over). -j and -shards draw
+// from one shared host-core budget: when their product oversubscribes
+// the host, the jobs side is clamped with a warning.
 //
 // The serve subcommand runs the same daemon as cmd/simd (see that
 // command and EXPERIMENTS.md "Running the service").
@@ -58,6 +62,7 @@ import (
 	"bigtiny/internal/apps"
 	"bigtiny/internal/bench"
 	"bigtiny/internal/fault"
+	"bigtiny/internal/machine"
 	"bigtiny/internal/serve"
 	"bigtiny/internal/sim"
 )
@@ -87,6 +92,8 @@ func benchCheck(args []string) int {
 	checkJSON := fs.String("check-json", "", "also write the machine-readable verdict report to this file")
 	update := fs.Bool("update-baseline", false,
 		"bless the fresh medians as the new baselines (verdicts still report against the old ones)")
+	hostGates := fs.Bool("host-gates", false,
+		"also check gates marked host = true (per-host wall-clock baselines; PAPERBENCH_HOST_GATES=1 is equivalent)")
 	verbose := fs.Bool("v", false, "print per-iteration progress")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,6 +111,7 @@ func benchCheck(args []string) int {
 		Iterations:     *iterations,
 		Confidence:     *confidence,
 		UpdateBaseline: *update,
+		IncludeHost:    *hostGates || os.Getenv("PAPERBENCH_HOST_GATES") == "1",
 		Commit:         gitCommit(),
 	}
 	if *verbose {
@@ -130,6 +138,8 @@ func run() int {
 	size := flag.String("size", "ref", "input size: test, ref, or big")
 	appList := flag.String("apps", "", "comma-separated app subset (default: all 13)")
 	jobs := flag.Int("j", 0, "host workers for the simulation fan-out (0 = all host cores, 1 = serial)")
+	shards := flag.Int("shards", 0,
+		"conservative-lookahead kernel shards per simulation, byte-identical at any count (0 = host cores left over by -j, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	noVerify := flag.Bool("no-verify", false, "skip output verification after each run")
 	jsonOut := flag.String("json", "", "also dump all collected metrics as JSON to this file")
@@ -140,7 +150,7 @@ func run() int {
 		"per-run simulated-cycle deadline; a run past it fails with a machine-state dump (0 = each config's watchdog default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	benchOut := flag.String("bench-out", "BENCH_PR7.json",
+	benchOut := flag.String("bench-out", "BENCH_PR9.json",
 		"output file for the bench target (an existing 'before' baseline section is preserved)")
 	benchHistory := flag.String("bench-history", "BENCH.json",
 		"cumulative per-commit trajectory file the bench target appends to (empty = no trajectory)")
@@ -176,6 +186,20 @@ func run() int {
 			}
 			f.Close()
 		}()
+	}
+
+	// Reject a bad -shards before any simulation work, same fail-fast
+	// policy as -faults below. The per-config clamp (e.g. 1-core IOx1
+	// runs serial regardless) happens inside machine.New; only values
+	// no config could honor are errors here.
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: -shards %d: shard count must be at least 1 (or 0 for auto)\n", *shards)
+		return 2
+	}
+	if *shards > machine.MaxShards {
+		fmt.Fprintf(os.Stderr, "paperbench: -shards %d exceeds the %d-shard kernel limit\n",
+			*shards, machine.MaxShards)
+		return 2
 	}
 
 	var chaosScenarios []string
@@ -243,9 +267,19 @@ func run() int {
 		}
 	}
 
+	// -j and -shards share one host-core budget; an explicit pair that
+	// oversubscribes the host clamps the jobs side (shards is the
+	// user's decomposition choice), warned about like ignored -faults.
+	gotJobs, gotShards, clamped := bench.HostBudget(*jobs, *shards, 0)
+	if clamped {
+		fmt.Fprintf(os.Stderr, "paperbench: warning: -j %d x -shards %d oversubscribes the %d-core host; running %d jobs\n",
+			*jobs, *shards, runtime.NumCPU(), gotJobs)
+	}
+
 	s := bench.NewSuite(sz)
 	s.Verify = !*noVerify
 	s.Deadline = sim.Time(*deadline)
+	s.Shards = gotShards
 	if *verbose {
 		s.Progress = os.Stderr
 	}
@@ -262,7 +296,7 @@ func run() int {
 			work = append(work, wl...)
 		}
 	}
-	if err := s.Prewarm(work, *jobs); err != nil {
+	if err := s.Prewarm(work, gotJobs); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench: warning:", err)
 	}
 
@@ -291,7 +325,7 @@ func run() int {
 		case "energy":
 			err = s.EnergyReport(out, names)
 		case "chaos":
-			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, *jobs)
+			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, gotJobs, gotShards)
 		case "open":
 			err = s.Open(out, bench.DefaultOpenSweep(sz))
 		case "bench":
@@ -299,7 +333,7 @@ func run() int {
 			if *verbose {
 				progress = os.Stderr
 			}
-			err = bench.HostBench(out, sz, names, *benchOut, *benchHistory, gitCommit(), progress)
+			err = bench.HostBench(out, sz, names, bench.DefaultShardSweep, *benchOut, *benchHistory, gitCommit(), progress)
 		default:
 			err = fmt.Errorf("unknown target %q", t)
 		}
@@ -308,6 +342,16 @@ func run() int {
 			return 1
 		}
 		fmt.Fprintln(out)
+	}
+
+	// Shard accounting mirrors btsim's: stderr only, so stdout stays
+	// byte-comparable across shard counts.
+	if gotShards > 1 {
+		if o := s.ShardObs(); o.ActiveEpochs > 0 || o.CrossPosts > 0 {
+			fmt.Fprintf(os.Stderr,
+				"paperbench: shards %d: %d cross-shard posts, %d lookahead violations, avg concurrency %.2f\n",
+				gotShards, o.CrossPosts, o.Violations, o.AvgConcurrency())
+		}
 	}
 
 	if *jsonOut != "" {

@@ -43,6 +43,16 @@ type Gate struct {
 	Size apps.Size
 	// Grain overrides the cell's task granularity (0 = app default).
 	Grain int
+	// Shards splits the measuring suite's event kernel into
+	// conservative-lookahead shards (table3/cell kinds; <= 1 serial).
+	// sim_cycles baselines are shared with the serial series by
+	// construction — a sharded sim_cycles gate is the byte-identity
+	// property as a standing check.
+	Shards int
+	// Host marks a wall-clock gate whose baseline only holds on the
+	// host that blessed it; bench-check skips these unless the caller
+	// opts in (paperbench: -host-gates or PAPERBENCH_HOST_GATES=1).
+	Host bool
 	// Metric names the gated number; see gateMetrics for the per-kind
 	// choices. Deterministic metrics (sim_cycles) have host-independent
 	// baselines; wall-clock metrics must be blessed per host.
@@ -103,6 +113,15 @@ func (g *Gate) Validate() error {
 	if g.Iterations < 0 {
 		return fmt.Errorf("gate %s: negative iterations", g.Series())
 	}
+	if g.Shards < 0 {
+		return fmt.Errorf("gate %s: negative shards", g.Series())
+	}
+	if g.Shards > machine.MaxShards {
+		return fmt.Errorf("gate %s: %d shards exceeds the %d-shard kernel limit", g.Series(), g.Shards, machine.MaxShards)
+	}
+	if g.Kind == "kernel" && g.Shards > 1 {
+		return fmt.Errorf("gate %s: the kernel microbenchmark has no shard knob", g.Series())
+	}
 	if g.Kind == "cell" {
 		if _, err := machine.Lookup(g.Config); err != nil {
 			return fmt.Errorf("gate %s: %w", g.Series(), err)
@@ -124,6 +143,13 @@ func (g *Gate) Validate() error {
 // be compared against a differently-shaped re-measurement; renaming a
 // series orphans (and effectively resets) its baseline.
 func (g *Gate) Series() string {
+	// Sharded variants are differently-shaped measurements, so the
+	// count joins the name; serial gates keep their pre-shard names, so
+	// existing baselines stay attached.
+	shard := ""
+	if g.Shards > 1 {
+		shard = fmt.Sprintf(",k%d", g.Shards)
+	}
 	switch g.Kind {
 	case "kernel":
 		return "gate:kernel:" + g.Metric
@@ -132,9 +158,9 @@ func (g *Gate) Series() string {
 		if len(g.Apps) > 0 {
 			apps = strings.Join(g.Apps, "+")
 		}
-		return fmt.Sprintf("gate:table3[%s,%s]:%s", g.Size, apps, g.Metric)
+		return fmt.Sprintf("gate:table3[%s,%s%s]:%s", g.Size, apps, shard, g.Metric)
 	default:
-		return fmt.Sprintf("gate:cell[%s]:%s:%s:g%d:%s", g.Size, g.Config, g.App, g.Grain, g.Metric)
+		return fmt.Sprintf("gate:cell[%s%s]:%s:%s:g%d:%s", g.Size, shard, g.Config, g.App, g.Grain, g.Metric)
 	}
 }
 
@@ -285,6 +311,18 @@ func setGateKey(g *Gate, key, raw string) error {
 			return fmt.Errorf("key %q: %w", key, err)
 		}
 		g.Iterations = v
+	case "shards":
+		v, err := strconv.Atoi(stripComment(raw))
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		g.Shards = v
+	case "host":
+		v, err := strconv.ParseBool(stripComment(raw))
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		g.Host = v
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -382,6 +420,10 @@ type CheckOptions struct {
 	// after the check (verdicts still report against the old baseline,
 	// so the run shows exactly what changed).
 	UpdateBaseline bool
+	// IncludeHost also measures gates marked host = true (wall-clock
+	// series whose baselines only hold on the host that blessed them).
+	// Off by default so the checked set stays host-portable in ci.
+	IncludeHost bool
 	// Commit stamps blessed baselines.
 	Commit BenchCommit
 	// Progress, if non-nil, receives per-iteration progress lines.
@@ -422,6 +464,7 @@ type CheckReport struct {
 	Improved         int          `json:"improved"`
 	TooNoisy         int          `json:"too_noisy"`
 	NoBaseline       int          `json:"no_baseline"`
+	HostSkipped      int          `json:"host_skipped,omitempty"`
 	BaselinesUpdated bool         `json:"baselines_updated"`
 }
 
@@ -449,7 +492,7 @@ func measureGate(g *Gate, hook func(string, string), progress io.Writer) (float6
 		if len(names) == 0 {
 			names = AppNames()
 		}
-		b, err := benchSuite(g.Size, names, hook, progress)
+		b, err := benchSuite(g.Size, names, g.Shards, hook, progress)
 		if err != nil {
 			return 0, err
 		}
@@ -466,7 +509,7 @@ func measureGate(g *Gate, hook func(string, string), progress io.Writer) (float6
 			return b.AllocsPerEvent, nil
 		}
 	default: // cell
-		c, err := benchCell(g.Size, g.Grain, g.Config, g.App, hook, progress)
+		c, err := benchCell(g.Size, g.Grain, g.Shards, g.Config, g.App, hook, progress)
 		if err != nil {
 			return 0, err
 		}
@@ -511,6 +554,10 @@ func BenchCheck(w io.Writer, gates []Gate, historyPath string, opts CheckOptions
 			return nil, fmt.Errorf("gate %s declared twice", series)
 		}
 		seen[series] = true
+		if g.Host && !opts.IncludeHost {
+			rep.HostSkipped++
+			continue
+		}
 
 		iters := g.Iterations
 		if iters <= 0 {
@@ -603,6 +650,10 @@ func renderCheckReport(w io.Writer, rep *CheckReport, historyPath string) {
 	fmt.Fprintf(w, "bench-check: %d gated: %d ok, %d regressed, %d improved, %d too-noisy, %d no-baseline (N=%d default, %g%% CI)\n",
 		len(rep.Gates), rep.OK, rep.Regressed, rep.Improved, rep.TooNoisy, rep.NoBaseline,
 		rep.Iterations, 100*rep.Confidence)
+	if rep.HostSkipped > 0 {
+		fmt.Fprintf(w, "bench-check: %d host wall-clock gate(s) skipped; include them with -host-gates (or PAPERBENCH_HOST_GATES=1) after blessing per-host baselines\n",
+			rep.HostSkipped)
+	}
 	if rep.NoBaseline > 0 && !rep.BaselinesUpdated {
 		fmt.Fprintf(w, "bench-check: %d series have no baseline in %s; bless them with -update-baseline\n",
 			rep.NoBaseline, historyPath)

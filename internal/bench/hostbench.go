@@ -34,8 +34,11 @@ type KernelBench struct {
 }
 
 // SuiteBench is the end-to-end measurement: the full table3 simulation
-// worklist run serially (the -j1 paperbench table3 workload).
+// worklist run serially (the -j1 paperbench table3 workload), on a
+// serial or shard-decomposed event kernel. SimCycles is identical at
+// any shard count — only the host-side numbers may move.
 type SuiteBench struct {
+	Shards          int     `json:"shards,omitempty"`
 	WallSec         float64 `json:"wall_sec"`
 	SimCycles       uint64  `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
@@ -43,6 +46,14 @@ type SuiteBench struct {
 	EventsPerSec    float64 `json:"events_per_sec"`
 	FastWaits       uint64  `json:"fast_waits"`
 	AllocsPerEvent  float64 `json:"allocs_per_event"`
+	// Shard-decomposition accounting (sharded runs only). The average
+	// concurrency is the mean number of distinct shards firing per
+	// lookahead epoch — the ceiling an epoch-parallel executor could
+	// extract from this worklist.
+	CrossShardPosts  uint64  `json:"cross_shard_posts,omitempty"`
+	ShardViolations  uint64  `json:"shard_violations,omitempty"`
+	AvgConcurrency   float64 `json:"avg_shard_concurrency,omitempty"`
+	WallVsSerial     float64 `json:"wall_speedup_vs_serial,omitempty"`
 }
 
 // HostBenchReport is one measurement of the current binary.
@@ -53,7 +64,15 @@ type HostBenchReport struct {
 	Size         string     `json:"size"`
 	Kernel       KernelBench `json:"kernel"`
 	Table3Serial SuiteBench  `json:"table3_serial"`
+	// Table3Sharded re-measures the same worklist on a K-way sharded
+	// kernel, one entry per swept K (DefaultShardSweep unless the caller
+	// chose otherwise). SimCycles must equal the serial run's.
+	Table3Sharded []SuiteBench `json:"table3_sharded,omitempty"`
 }
+
+// DefaultShardSweep is the shard counts `paperbench bench` measures the
+// table3 worklist at, alongside the serial pass.
+var DefaultShardSweep = []int{2, 4, 8}
 
 // BenchFile is the on-disk BENCH_*.json format: the baseline
 // measurement taken before a perf PR, the measurement after it, and
@@ -106,16 +125,19 @@ func benchKernel(n int) KernelBench {
 }
 
 // benchSuite runs the table3 simulation worklist strictly serially
-// (the `paperbench -j 1 table3` workload) on a fresh suite and
-// measures host throughput. Simulated results are the usual
-// bit-identical ones; only wall time and allocation counts vary by
-// host. hook is the suite's SimHook (test injection; nil outside the
-// gate tests), and a fresh suite per call means repeated iterations
-// re-simulate instead of reading a warm cache.
-func benchSuite(size apps.Size, names []string, hook func(cfgName, appName string), progress io.Writer) (SuiteBench, error) {
+// (the `paperbench -j 1 table3` workload) on a fresh suite, with the
+// event kernel split into shards conservative-lookahead shards (<= 1
+// serial), and measures host throughput. Simulated results are the
+// usual bit-identical ones at any shard count; only wall time and
+// allocation counts vary by host. hook is the suite's SimHook (test
+// injection; nil outside the gate tests), and a fresh suite per call
+// means repeated iterations re-simulate instead of reading a warm
+// cache.
+func benchSuite(size apps.Size, names []string, shards int, hook func(cfgName, appName string), progress io.Writer) (SuiteBench, error) {
 	s := NewSuite(size)
 	s.Progress = progress
 	s.SimHook = hook
+	s.Shards = shards
 	work := s.Table3Work(names)
 
 	var m0, m1 runtime.MemStats
@@ -152,6 +174,13 @@ func benchSuite(size apps.Size, names []string, hook func(cfgName, appName strin
 		EventsFired: fired,
 		FastWaits:   fastWaits,
 	}
+	if shards > 1 {
+		o := s.ShardObs()
+		b.Shards = shards
+		b.CrossShardPosts = o.CrossPosts
+		b.ShardViolations = o.Violations
+		b.AvgConcurrency = o.AvgConcurrency()
+	}
 	if secs := wall.Seconds(); secs > 0 {
 		b.SimCyclesPerSec = float64(simCycles) / secs
 		b.EventsPerSec = float64(fired) / secs
@@ -174,11 +203,12 @@ type cellSample struct {
 // re-simulate — the gate's variance estimate would be meaningless over
 // cache hits. Simulated cycles are deterministic; only the wall time
 // varies by host.
-func benchCell(size apps.Size, grain int, cfg, app string, hook func(cfgName, appName string), progress io.Writer) (cellSample, error) {
+func benchCell(size apps.Size, grain, shards int, cfg, app string, hook func(cfgName, appName string), progress io.Writer) (cellSample, error) {
 	s := NewSuite(size)
 	s.Grain = grain
 	s.Progress = progress
 	s.SimHook = hook
+	s.Shards = shards
 	t0 := time.Now()
 	r, err := s.Run(cfg, app)
 	if err != nil {
@@ -229,7 +259,8 @@ func mergeBenchFile(outPath string, rep *HostBenchReport) (*BenchFile, error) {
 }
 
 // hostSeriesLowerIsBetter gives the improvement direction of each
-// host-throughput trajectory series (trajectoryBenches names).
+// static host-throughput trajectory series (trajectoryBenches names);
+// hostSeriesLower resolves the per-shard-count series too.
 var hostSeriesLowerIsBetter = map[string]bool{
 	"kernel ns/event":       true,
 	"kernel allocs/event":   true,
@@ -237,6 +268,16 @@ var hostSeriesLowerIsBetter = map[string]bool{
 	"table3 sim-cycles/sec": false,
 	"table3 events/sec":     false,
 	"table3 allocs/event":   true,
+}
+
+// hostSeriesLower resolves a trajectory series' improvement direction,
+// including the dynamic per-shard-count names ("table3 k4 wall",
+// "table3 k4 sim-cycles/sec").
+func hostSeriesLower(name string) bool {
+	if lower, ok := hostSeriesLowerIsBetter[name]; ok {
+		return lower
+	}
+	return strings.HasSuffix(name, " wall")
 }
 
 // benchHintThreshold is the relative slip past which `paperbench
@@ -265,7 +306,7 @@ func benchHint(traj *TrajectoryFile, rep *HostBenchReport) string {
 			continue
 		}
 		delta := (b.Value - base) / base
-		if !hostSeriesLowerIsBetter[b.Name] {
+		if !hostSeriesLower(b.Name) {
 			delta = -delta
 		}
 		if delta > benchHintThreshold {
@@ -280,14 +321,15 @@ func benchHint(traj *TrajectoryFile, rep *HostBenchReport) string {
 }
 
 // HostBench measures the current binary (kernel microbenchmark plus
-// the serial table3 workload at size), merges the result into the
-// BENCH file at outPath — preserving any existing "before" baseline —
-// and prints a summary to w. When historyPath is non-empty the same
-// measurement is also appended as a per-commit entry to the cumulative
-// trajectory file there (see AppendTrajectory), after a one-line hint
-// if the new numbers slipped enough that the regression gate would
-// likely flag them.
-func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath string, commit BenchCommit, progress io.Writer) error {
+// the serial table3 workload at size, then the same worklist at each
+// shard count in shardSweep — nil skips the sweep), merges the result
+// into the BENCH file at outPath — preserving any existing "before"
+// baseline — and prints a summary to w. When historyPath is non-empty
+// the same measurement is also appended as a per-commit entry to the
+// cumulative trajectory file there (see AppendTrajectory), after a
+// one-line hint if the new numbers slipped enough that the regression
+// gate would likely flag them.
+func HostBench(w io.Writer, size apps.Size, names []string, shardSweep []int, outPath, historyPath string, commit BenchCommit, progress io.Writer) error {
 	rep := &HostBenchReport{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -296,9 +338,33 @@ func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath
 	}
 	rep.Kernel = benchKernel(2_000_000)
 	var err error
-	rep.Table3Serial, err = benchSuite(size, names, nil, progress)
+	rep.Table3Serial, err = benchSuite(size, names, 1, nil, progress)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
+	}
+	for _, k := range shardSweep {
+		if k <= 1 {
+			continue
+		}
+		b, err := benchSuite(size, names, k, nil, progress)
+		if err != nil {
+			return fmt.Errorf("bench: shards=%d: %w", k, err)
+		}
+		// The decomposition promise, enforced at measurement time: a
+		// sharded pass that drifts from the serial simulation (or posts
+		// an event inside the lookahead window) is a simulator bug, not
+		// a perf data point.
+		if b.SimCycles != rep.Table3Serial.SimCycles {
+			return fmt.Errorf("bench: shards=%d simulated %d cycles, serial %d — sharding changed the simulation",
+				k, b.SimCycles, rep.Table3Serial.SimCycles)
+		}
+		if b.ShardViolations != 0 {
+			return fmt.Errorf("bench: shards=%d: %d lookahead violations", k, b.ShardViolations)
+		}
+		if b.WallSec > 0 {
+			b.WallVsSerial = rep.Table3Serial.WallSec / b.WallSec
+		}
+		rep.Table3Sharded = append(rep.Table3Sharded, b)
 	}
 
 	file, err := mergeBenchFile(outPath, rep)
@@ -324,6 +390,10 @@ func HostBench(w io.Writer, size apps.Size, names []string, outPath, historyPath
 		size, rep.Table3Serial.WallSec,
 		rep.Table3Serial.SimCyclesPerSec/1e6, rep.Table3Serial.EventsPerSec/1e6,
 		rep.Table3Serial.AllocsPerEvent)
+	for _, b := range rep.Table3Sharded {
+		fmt.Fprintf(w, "table3 (shards=%d): %.1fs wall (%.2fx vs serial), %.2fM sim-cycles/s, avg shard concurrency %.2f\n",
+			b.Shards, b.WallSec, b.WallVsSerial, b.SimCyclesPerSec/1e6, b.AvgConcurrency)
+	}
 	if file.Before != nil {
 		fmt.Fprintf(w, "vs baseline: %.2fx table3 wall, %.1fx fewer kernel allocs/event\n",
 			file.Table3WallSpeedup, file.KernelAllocsPerEventRatio)

@@ -90,6 +90,7 @@ func (s *Suite) simulateOpen(ctx context.Context, cfgName, scenario string, faul
 		FaultSeed: faultSeed,
 		Oracle:    s.Oracle,
 		Deadline:  s.Deadline,
+		Shards:    s.Shards,
 	})
 	if err != nil {
 		return nil, err

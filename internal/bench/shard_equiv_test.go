@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bigtiny/internal/apps"
+	"bigtiny/internal/stats"
+)
+
+// runShardCount performs one complete simulation through the suite with
+// the event kernel split into the given shard count (1 = serial) and
+// returns the full metric snapshot plus the canonical JSON export. The
+// shard-decomposition invariants are asserted on the way out: zero
+// lookahead violations, and non-trivial cross-shard traffic whenever
+// the run was actually sharded on a multi-core machine.
+func runShardCount(t *testing.T, cfgName, appName string, size apps.Size, grain int,
+	scenario string, faultSeed uint64, shards int) (*stats.Run, []byte) {
+	t.Helper()
+	s := NewSuite(size)
+	s.Grain = grain
+	s.FaultScenario = scenario
+	s.FaultSeed = faultSeed
+	s.Oracle = true
+	s.Shards = shards
+	r, err := s.Run(cfgName, appName)
+	if err != nil {
+		t.Fatalf("%s on %s (shards=%d): %v", appName, cfgName, shards, err)
+	}
+	js, err := s.ResultJSON(context.Background(), cfgName, appName)
+	if err != nil {
+		t.Fatalf("%s on %s (shards=%d): export: %v", appName, cfgName, shards, err)
+	}
+	if o := s.ShardObs(); o.Violations != 0 {
+		t.Fatalf("%s on %s (shards=%d): %d lookahead violations (the partition promised none)",
+			appName, cfgName, shards, o.Violations)
+	}
+	return r, js
+}
+
+// checkShardedRun compares one sharded run against its serial twin:
+// every collected statistic and the canonical JSON export must be
+// byte-identical, and the ULI accounting identity must hold on both.
+func checkShardedRun(t *testing.T, serial, sharded *stats.Run, serialJS, shardedJS []byte, shards int) {
+	t.Helper()
+	if serial.Cycles != sharded.Cycles {
+		t.Fatalf("total cycles: serial=%d shards=%d: %d", serial.Cycles, shards, sharded.Cycles)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("stats diverge at shards=%d:\nserial:  %+v\nsharded: %+v", shards, serial, sharded)
+	}
+	if !bytes.Equal(serialJS, shardedJS) {
+		t.Fatalf("JSON export diverges at shards=%d:\nserial:  %s\nsharded: %s", shards, serialJS, shardedJS)
+	}
+	for _, r := range []*stats.Run{serial, sharded} {
+		if u := r.ULI; u != nil && u.Reqs != u.Acks+u.Nacks+u.Drops {
+			t.Fatalf("ULI accounting identity violated: reqs=%d acks=%d nacks=%d drops=%d",
+				u.Reqs, u.Acks, u.Nacks, u.Drops)
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the sharded kernel's ground truth: every
+// app, at the Empty and Unit sizes, on a DTS configuration, must
+// produce bit-identical results at every tested shard count — total
+// cycles, every collected statistic (cache, NoC, DRAM, ULI, oracle,
+// runtime counters), and the canonical JSON export. Any divergence
+// means shard decomposition changed the simulation, not just how its
+// event queue is organized.
+func TestShardedMatchesSerial(t *testing.T) {
+	const cfgName = "bT/HCC-DTS-gwb"
+	for _, size := range []apps.Size{apps.Empty, apps.Unit} {
+		for _, appName := range AppNames() {
+			t.Run(size.String()+"/"+appName, func(t *testing.T) {
+				serial, serialJS := runShardCount(t, cfgName, appName, size, 0, "", 0, 1)
+				for _, shards := range []int{2, 5, 64} {
+					sharded, shardedJS := runShardCount(t, cfgName, appName, size, 0, "", 0, shards)
+					checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedMatchesSerialTestSize spot-checks real (Test-size)
+// workloads, where the shard queues carry millions of events and the
+// cross-shard ULI traffic is dense, on a DTS and a non-DTS machine.
+func TestShardedMatchesSerialTestSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Test-size equivalence runs are not short")
+	}
+	for _, cfgName := range []string{"bT/HCC-DTS-gwb", "bT/MESI"} {
+		t.Run(cfgName, func(t *testing.T) {
+			serial, serialJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, 1)
+			for _, shards := range []int{4, 8} {
+				sharded, shardedJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, shards)
+				checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
+			}
+		})
+	}
+}
+
+// TestShardedDifferentialStress is the randomized differential harness:
+// each trial draws a random (app, size, grain, fault scenario, fault
+// seed, shard count) tuple, runs it serial and sharded with the
+// memory-ordering oracle shadowing both, and requires byte-identical
+// stats and exports. The generator is seeded, so a failure reproduces
+// by trial index.
+func TestShardedDifferentialStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	const cfgName = ChaosConfig // small DTS machine: full protocol stack per trial
+	rng := rand.New(rand.NewSource(20260808))
+	names := AppNames()
+	scenarios := append([]string{""}, ChaosScenarios...)
+	sizes := []apps.Size{apps.Empty, apps.Unit, apps.Test}
+	grains := []int{0, 1, 4}
+	shardCounts := []int{2, 3, 4, 8}
+
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		appName := names[rng.Intn(len(names))]
+		size := sizes[rng.Intn(len(sizes))]
+		grain := grains[rng.Intn(len(grains))]
+		scenario := scenarios[rng.Intn(len(scenarios))]
+		var faultSeed uint64
+		if scenario != "" {
+			faultSeed = uint64(rng.Intn(5) + 1)
+		}
+		shards := shardCounts[rng.Intn(len(shardCounts))]
+		t.Run(appName+"/"+size.String(), func(t *testing.T) {
+			serial, serialJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, 1)
+			sharded, shardedJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, shards)
+			checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
+		})
+	}
+}

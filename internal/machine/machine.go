@@ -44,6 +44,11 @@ type Config struct {
 	DRAMBytesPerCycle float64
 	// Deadline aborts runaway simulations (cycles); 0 = none.
 	Deadline sim.Time
+	// Shards splits the event kernel into that many conservative-
+	// lookahead shards (PDES decomposition, DESIGN.md §16). <= 1 runs
+	// the serial kernel; values beyond the tile count degrade to one
+	// shard per tile. Results are byte-identical at any value.
+	Shards int
 	// Faults, when non-nil, selects a fault-injection scenario; New
 	// builds a fresh Injector seeded with FaultSeed for each machine,
 	// so one Config can build many machines without shared state.
@@ -71,6 +76,8 @@ type Machine struct {
 	Faults *fault.Injector
 	// Oracle is the memory-ordering checker (nil unless Cfg.Oracle).
 	Oracle *oracle.Checker
+	// plan is the tile→shard partition (nil unless Cfg.Shards > 1).
+	plan *ShardPlan
 }
 
 // New builds a machine from cfg.
@@ -112,6 +119,12 @@ func New(cfg Config) *Machine {
 		mcs = append(mcs, mc)
 	}
 
+	var plan *ShardPlan
+	if n := clampShards(cfg.Shards, cfg.NumCores()); n > 1 {
+		plan = planShards(n, mesh, coreNodes, bankNodes)
+		k.Shard(plan.Shards, plan.Lookahead)
+	}
+
 	cs := cache.NewSystem(cache.Config{
 		NumCores:      cfg.NumCores(),
 		CoreNode:      coreNodes,
@@ -126,6 +139,11 @@ func New(cfg Config) *Machine {
 		fabric = uli.NewFabric(k, cfg.Rows+1, cfg.Cols, cfg.NumCores(),
 			func(core int) noc.NodeID { return coreNodes[core] })
 		fabric.Faults = inj
+		if plan != nil {
+			// ULI deliveries are cross-core messages: route each to the
+			// receiving core's event shard.
+			fabric.ShardOf = func(core int) int { return plan.CoreShard[core] }
+		}
 		if sc := inj.Scenario(); sc.Lossy() {
 			// Steal-path messages can vanish: arm the thief-side timeout.
 			// Left at zero otherwise so fault-free runs schedule no
@@ -142,7 +160,7 @@ func New(cfg Config) *Machine {
 
 	m := &Machine{
 		Cfg: cfg, Kernel: k, Mesh: mesh, Mem: backing, Cache: cs,
-		ULI: fabric, MCs: mcs, Faults: inj, Oracle: chk,
+		ULI: fabric, MCs: mcs, Faults: inj, Oracle: chk, plan: plan,
 	}
 	for c := 0; c < cfg.NumCores(); c++ {
 		big := c < cfg.NumBig
@@ -216,9 +234,14 @@ func placeCores(mesh *noc.Mesh, cfg Config) []noc.NodeID {
 func (m *Machine) Big(core int) bool { return core < m.Cfg.NumBig }
 
 // Spawn starts body as the software thread on the given core at time 0.
+// On a sharded machine the thread lives on its tile's event shard.
 func (m *Machine) Spawn(core int, body func(*cpu.Core)) {
 	c := m.Cores[core]
-	m.Kernel.NewProc(fmt.Sprintf("core%d", core), 0, func(p *sim.Proc) {
+	shard := 0
+	if m.plan != nil {
+		shard = m.plan.CoreShard[core]
+	}
+	m.Kernel.NewProcOn(shard, fmt.Sprintf("core%d", core), 0, func(p *sim.Proc) {
 		c.Bind(p)
 		body(c)
 	})

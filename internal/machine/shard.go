@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"bigtiny/internal/noc"
+	"bigtiny/internal/sim"
+)
+
+// ShardPlan is the tile→shard partition of one machine: which event
+// shard each tile (core + private L1) and each L2 bank / memory
+// controller belongs to, and the conservative lookahead the partition
+// supports. See DESIGN.md §16.
+//
+// Cores are split into contiguous core-ID blocks of near-equal size.
+// Core IDs follow the Figure 1 floorplan (big cores across the bottom
+// row, tiny cores row-major above), so contiguous ID blocks are
+// spatially compact and the minimum cross-shard hop distance — the
+// lookahead — stays at the adjacent-tile latency.
+//
+// L2 banks and memory controllers own address-interleaved line ranges,
+// not cores, so their *events* cannot be pinned to one shard: a bank
+// access executes synchronously on the simulated thread that issued it
+// and is charged to that thread's shard. BankShard records the static
+// ownership used for reporting (the shard whose cores sit closest to
+// the bank), mirroring how a barrier-parallel executor would co-locate
+// each bank with its dominant traffic source.
+type ShardPlan struct {
+	Shards    int      `json:"shards"`
+	Lookahead sim.Time `json:"lookahead"`
+	CoreShard []int    `json:"core_shard"`
+	BankShard []int    `json:"bank_shard"`
+}
+
+// planShards builds the partition for n shards. n must already be
+// clamped to [2, min(NumCores, 64)].
+func planShards(n int, mesh *noc.Mesh, coreNodes, bankNodes []noc.NodeID) *ShardPlan {
+	numCores := len(coreNodes)
+	plan := &ShardPlan{
+		Shards:    n,
+		CoreShard: make([]int, numCores),
+		BankShard: make([]int, len(bankNodes)),
+	}
+	for c := 0; c < numCores; c++ {
+		plan.CoreShard[c] = c * n / numCores
+	}
+	// Lookahead: the minimum NoC latency between any two tiles in
+	// different shards. No event executing on one shard can reach
+	// another shard sooner — every cross-shard interaction (ULI message,
+	// cache recall response, remote wakeup) rides at least one mesh
+	// traversal between those tiles.
+	hopLat := mesh.ChannelLat + mesh.RouterLat
+	minHops := 0
+	for a := 0; a < numCores; a++ {
+		for b := a + 1; b < numCores; b++ {
+			if plan.CoreShard[a] == plan.CoreShard[b] {
+				continue
+			}
+			if h := mesh.Hops(coreNodes[a], coreNodes[b]); minHops == 0 || h < minHops {
+				minHops = h
+			}
+		}
+	}
+	if minHops < 1 {
+		minHops = 1
+	}
+	plan.Lookahead = sim.Time(minHops) * hopLat
+	if plan.Lookahead < 1 {
+		plan.Lookahead = 1
+	}
+	// Banks go to the shard with the nearest core (lowest core ID on
+	// ties, so the plan is deterministic).
+	for b, bn := range bankNodes {
+		bestCore := 0
+		bestHops := -1
+		for c, cn := range coreNodes {
+			if h := mesh.Hops(bn, cn); bestHops < 0 || h < bestHops {
+				bestCore, bestHops = c, h
+			}
+		}
+		plan.BankShard[b] = plan.CoreShard[bestCore]
+	}
+	return plan
+}
+
+// MaxShards is the largest usable shard count on any machine (one
+// shard per tile, capped by the kernel's 64-shard limit).
+const MaxShards = 64
+
+// clampShards normalizes a requested shard count for a machine with
+// numCores tiles: <= 1 means serial, and a request larger than the
+// tile count (or the kernel cap) degrades to the largest valid
+// partition rather than failing — the CLI layers validate user input
+// upfront; this guard keeps mixed-size suite sweeps safe.
+func clampShards(requested, numCores int) int {
+	n := requested
+	if n > numCores {
+		n = numCores
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
+// Plan returns the machine's shard partition, or nil when it runs on
+// the serial kernel.
+func (m *Machine) Plan() *ShardPlan { return m.plan }
+
+// ShardStats returns the kernel's decomposition report (nil when
+// serial). Valid during and after Run.
+func (m *Machine) ShardStats() *sim.ShardStats { return m.Kernel.ShardStats() }

@@ -1,0 +1,81 @@
+package machine
+
+import "testing"
+
+// TestShardPlan checks the partition invariants on the paper machine:
+// every shard is non-empty, assignment is contiguous in core-ID order,
+// the lookahead is the adjacent-tile NoC latency, and banks map to
+// in-range shards.
+func TestShardPlan(t *testing.T) {
+	cfg, err := Lookup("bT/HCC-DTS-gwb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	m := New(cfg)
+	plan := m.Plan()
+	if plan == nil {
+		t.Fatal("no plan on a sharded machine")
+	}
+	if plan.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", plan.Shards)
+	}
+	if len(plan.CoreShard) != cfg.NumCores() {
+		t.Fatalf("core map covers %d cores, want %d", len(plan.CoreShard), cfg.NumCores())
+	}
+	seen := make([]int, plan.Shards)
+	prev := 0
+	for c, s := range plan.CoreShard {
+		if s < prev || s >= plan.Shards {
+			t.Fatalf("core %d on shard %d (prev %d): not a contiguous partition", c, s, prev)
+		}
+		prev = s
+		seen[s]++
+	}
+	for s, n := range seen {
+		if n == 0 {
+			t.Fatalf("shard %d owns no cores", s)
+		}
+	}
+	// Adjacent tiles across a shard boundary: one hop at
+	// ChannelLat + RouterLat cycles.
+	if want := m.Mesh.ChannelLat + m.Mesh.RouterLat; plan.Lookahead != want {
+		t.Fatalf("lookahead = %d, want %d", plan.Lookahead, want)
+	}
+	for b, s := range plan.BankShard {
+		if s < 0 || s >= plan.Shards {
+			t.Fatalf("bank %d on shard %d out of range", b, s)
+		}
+	}
+	if !m.Kernel.Sharded() || m.Kernel.NumShards() != 4 {
+		t.Fatal("kernel not sharded to the plan")
+	}
+}
+
+// TestShardClamp: requests beyond the tile count (or the kernel cap)
+// degrade to the largest valid partition; <= 1 stays serial.
+func TestShardClamp(t *testing.T) {
+	cfg, err := Lookup("bT8/HCC-DTS-gwb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1000
+	m := New(cfg)
+	if got := m.Plan().Shards; got != cfg.NumCores() {
+		t.Fatalf("clamped to %d shards, want %d (tile count)", got, cfg.NumCores())
+	}
+
+	cfg.Shards = 1
+	if m := New(cfg); m.Plan() != nil || m.Kernel.Sharded() {
+		t.Fatal("Shards=1 must stay serial")
+	}
+
+	big, err := Lookup("bT256/MESI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.Shards = 300
+	if got := New(big).Plan().Shards; got != MaxShards {
+		t.Fatalf("256-core machine clamped to %d shards, want %d", got, MaxShards)
+	}
+}

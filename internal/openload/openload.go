@@ -99,6 +99,9 @@ type Options struct {
 	Oracle bool
 	// Deadline, when nonzero, overrides the config's watchdog deadline.
 	Deadline sim.Time
+	// Shards splits the event kernel into conservative-lookahead shards
+	// (machine.Config.Shards); results are byte-identical at any value.
+	Shards int
 }
 
 // Result is the outcome of one open-system run.
@@ -133,6 +136,11 @@ type Result struct {
 	FaultTotal uint64
 	RT         wsrt.RunStats
 	OracleOps  uint64
+
+	// Shard is the event-kernel decomposition accounting when the run
+	// was sharded (Options.Shards > 1), nil otherwise. Host-side
+	// observability only: no serving metric above depends on it.
+	Shard *sim.ShardStats
 }
 
 // Arrivals lists the supported arrival process names.
@@ -172,6 +180,7 @@ func Run(ctx context.Context, cfgName string, sp Spec, opt Options) (*Result, er
 		cfg.FaultSeed = opt.FaultSeed
 	}
 	cfg.Oracle = opt.Oracle
+	cfg.Shards = opt.Shards
 
 	m := machine.New(cfg)
 	if done := ctx.Done(); done != nil {
@@ -301,6 +310,7 @@ func Run(ctx context.Context, cfgName string, sp Spec, opt Options) (*Result, er
 	if m.Oracle != nil {
 		r.OracleOps = m.Oracle.Ops
 	}
+	r.Shard = m.ShardStats()
 	return r, nil
 }
 

@@ -69,6 +69,11 @@ type Config struct {
 	QuarantineAfter int
 	// NoVerify skips output verification after each run.
 	NoVerify bool
+	// Shards splits each job's event kernel into conservative-lookahead
+	// shards (<= 1: serial). Results are byte-identical at any count, so
+	// neither cache nor store keys include it; workers and shards draw
+	// from one host-core budget (the worker pool shrinks to fit).
+	Shards int
 
 	// suiteHook, when non-nil, is applied to every suite the server
 	// creates. Tests use it to install bench.Suite.SimHook failure
@@ -205,6 +210,17 @@ const maxSuites = 64
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Shards > machine.MaxShards {
+		return nil, fmt.Errorf("serve: %d shards exceeds the %d-shard kernel limit", cfg.Shards, machine.MaxShards)
+	}
+	if cfg.Shards > 1 {
+		if budget := runtime.NumCPU() / cfg.Shards; cfg.Workers > budget {
+			cfg.Workers = budget
+			if cfg.Workers < 1 {
+				cfg.Workers = 1
+			}
+		}
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -521,6 +537,7 @@ func (s *Server) suiteFor(req JobRequest, size apps.Size) *bench.Suite {
 		deadline = s.cfg.DeadlineCycles
 	}
 	su.Deadline = sim.Time(deadline)
+	su.Shards = s.cfg.Shards
 	if s.cfg.suiteHook != nil {
 		s.cfg.suiteHook(su)
 	}
@@ -639,6 +656,7 @@ func (s *Server) cellRecovered(key string) {
 type Health struct {
 	Status     string `json:"status"` // "ok" or "draining"
 	Workers    int    `json:"workers"`
+	Shards     int    `json:"shards,omitempty"`
 	QueueDepth int    `json:"queue_depth"`
 	Queued     int    `json:"queued"`
 	Inflight   int64  `json:"inflight"`
@@ -659,6 +677,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		Status:           "ok",
 		Workers:          s.cfg.Workers,
+		Shards:           s.cfg.Shards,
 		QueueDepth:       s.cfg.QueueDepth,
 		Queued:           len(s.queue),
 		Inflight:         s.inflight.Load(),

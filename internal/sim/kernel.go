@@ -38,14 +38,17 @@ const Forever = Time(^uint64(0))
 var KernelParanoid bool
 
 // eventRef is one heap entry: the firing time, a sequence number that
-// breaks same-time ties in scheduling order (determinism), and the
-// index of the slot holding the callback. Refs are plain values — the
-// heap is a []eventRef and sifting moves 24-byte records, never
-// pointers the GC has to trace.
+// breaks same-time ties in scheduling order (determinism), the index
+// of the slot holding the callback, and the event shard it is queued
+// on (always 0 on an unsharded kernel). Refs are plain values — a heap
+// is a []eventRef and sifting moves 24-byte records (the shard tag
+// lives in what used to be padding), never pointers the GC has to
+// trace.
 type eventRef struct {
-	at  Time
-	seq uint64
-	idx int32
+	at    Time
+	seq   uint64
+	idx   int32
+	shard int16
 }
 
 // eventSlot holds a scheduled event: either a plain callback (fn) or a
@@ -60,6 +63,9 @@ type eventSlot struct {
 	proc *Proc
 	gen  uint32
 	next int32 // free-list link; meaningful only while free
+	// shard mirrors the queue the slot's ref lives on, so Timer.Stop on
+	// a sharded kernel can credit the tombstone to the right queue.
+	shard int16
 }
 
 // Kernel is the discrete-event engine. The zero value is not usable;
@@ -67,7 +73,7 @@ type eventSlot struct {
 type Kernel struct {
 	now   Time
 	seq   uint64
-	queue []eventRef
+	queue eventHeap
 	slots []eventSlot
 	free  int32 // head of the slot free list, -1 when empty
 	// tombstones counts cancelled timers still occupying queue entries.
@@ -77,6 +83,11 @@ type Kernel struct {
 	// outnumber half the live events.
 	tombstones int
 	procs      []*Proc
+
+	// sh holds the event-shard state when Shard was called; nil on a
+	// serial kernel, whose hot paths pay only this nil check (see
+	// shard.go and DESIGN.md §16).
+	sh *shardSet
 
 	// paranoid disables the WaitUntil fast path (see KernelParanoid).
 	paranoid bool
@@ -209,61 +220,88 @@ func (k *Kernel) freeSlot(idx int32) {
 	k.free = idx
 }
 
+// eventHeap is a binary min-heap of eventRef values ordered by refLess.
+// The serial kernel owns one; a sharded kernel owns one per shard.
+type eventHeap []eventRef
+
 // push adds a heap entry (sift-up on the value slice).
-func (k *Kernel) push(at Time, seq uint64, idx int32) {
-	k.queue = append(k.queue, eventRef{at: at, seq: seq, idx: idx})
-	i := len(k.queue) - 1
+func (h *eventHeap) push(ref eventRef) {
+	*h = append(*h, ref)
+	q := *h
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !refLess(k.queue[i], k.queue[parent]) {
+		if !refLess(q[i], q[parent]) {
 			break
 		}
-		k.queue[i], k.queue[parent] = k.queue[parent], k.queue[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
 }
 
 // popRoot removes and returns the minimum heap entry.
-func (k *Kernel) popRoot() eventRef {
-	root := k.queue[0]
-	n := len(k.queue) - 1
-	k.queue[0] = k.queue[n]
-	k.queue = k.queue[:n]
-	k.siftDown(0)
+func (h *eventHeap) popRoot() eventRef {
+	q := *h
+	root := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	q.siftDown(0)
 	return root
 }
 
-func (k *Kernel) siftDown(i int) {
-	n := len(k.queue)
+func (q eventHeap) siftDown(i int) {
+	n := len(q)
 	for {
 		l := 2*i + 1
 		if l >= n {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && refLess(k.queue[r], k.queue[l]) {
+		if r := l + 1; r < n && refLess(q[r], q[l]) {
 			m = r
 		}
-		if !refLess(k.queue[m], k.queue[i]) {
+		if !refLess(q[m], q[i]) {
 			return
 		}
-		k.queue[i], k.queue[m] = k.queue[m], k.queue[i]
+		q[i], q[m] = q[m], q[i]
 		i = m
 	}
 }
 
-// schedule allocates a slot for fn and queues it at time t.
+// schedule allocates a slot for fn and queues it at time t. On a
+// sharded kernel the event lands on the shard of the event currently
+// dispatching (a plain callback is machinery of whoever scheduled it);
+// message deliveries that belong to a *different* component use
+// AtOn/scheduleOn to name the receiving shard explicitly.
 func (k *Kernel) schedule(t Time, fn func()) (int32, uint32) {
+	var shard int16
+	if k.sh != nil {
+		shard = k.sh.cur()
+	}
+	return k.scheduleOn(shard, t, fn)
+}
+
+// scheduleOn is schedule with an explicit target shard.
+func (k *Kernel) scheduleOn(shard int16, t Time, fn func()) (int32, uint32) {
 	k.seq++
 	k.scheduled++
 	idx, gen := k.allocSlot(fn, nil)
-	k.push(t, k.seq, idx)
+	ref := eventRef{at: t, seq: k.seq, idx: idx, shard: shard}
+	if k.sh == nil {
+		k.queue.push(ref)
+		return idx, gen
+	}
+	k.slots[idx].shard = shard
+	k.sh.enqueue(k, ref)
 	return idx, gen
 }
 
 // scheduleResume queues proc p to resume at time t. Resumes are tagged
 // in the slot (rather than hidden in a closure) so the dispatcher can
-// hand the control token straight to p's goroutine.
+// hand the control token straight to p's goroutine. On a sharded
+// kernel a resume always lands on the proc's home shard.
 func (k *Kernel) scheduleResume(t Time, p *Proc) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
@@ -271,7 +309,13 @@ func (k *Kernel) scheduleResume(t Time, p *Proc) {
 	k.seq++
 	k.scheduled++
 	idx, _ := k.allocSlot(nil, p)
-	k.push(t, k.seq, idx)
+	ref := eventRef{at: t, seq: k.seq, idx: idx, shard: p.shard}
+	if k.sh == nil {
+		k.queue.push(ref)
+		return
+	}
+	k.slots[idx].shard = p.shard
+	k.sh.enqueue(k, ref)
 }
 
 // At schedules fn to run at time t. Scheduling in the past is an error
@@ -285,6 +329,28 @@ func (k *Kernel) At(t Time, fn func()) {
 
 // After schedules fn to run d cycles from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// AtOn schedules fn at time t on an explicit event shard — the entry
+// point for cross-shard message delivery (a NoC send, a ULI response):
+// the event belongs to the *receiving* component's shard even though
+// the sender schedules it. On a serial kernel it is exactly At. A post
+// to another shard closer than the kernel's lookahead is counted as a
+// lookahead violation (see ShardStats); it cannot perturb results —
+// dispatch order is the global (time, seq) order regardless — but it
+// flags a latency bound the partitioning relied on as broken.
+func (k *Kernel) AtOn(shard int, t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	if k.sh == nil {
+		k.schedule(t, fn)
+		return
+	}
+	if shard < 0 || shard >= len(k.sh.queues) {
+		panic(fmt.Sprintf("sim: AtOn shard %d out of range [0,%d)", shard, len(k.sh.queues)))
+	}
+	k.scheduleOn(int16(shard), t, fn)
+}
 
 // Timer is a cancellable one-shot event, the building block for
 // simulated-cycle timeouts (e.g. the ULI steal-request timeout). A
@@ -314,8 +380,14 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	s.fn = nil
+	if sh := t.k.sh; sh != nil {
+		sq := &sh.queues[s.shard]
+		sq.tombstones++
+		t.k.compactQueue(&sq.q, &sq.tombstones)
+		return true
+	}
 	t.k.tombstones++
-	t.k.compactIfNeeded()
+	t.k.compactQueue(&t.k.queue, &t.k.tombstones)
 	return true
 }
 
@@ -346,50 +418,77 @@ func (k *Kernel) TimerAfter(d Time, fn func()) *Timer { return k.TimerAt(k.now+d
 // below it the lazy pop-time skip is always cheaper.
 const compactTombstoneFloor = 32
 
-// compactIfNeeded rebuilds the queue without tombstones once cancelled
+// compactQueue rebuilds one heap without tombstones once cancelled
 // entries outnumber half the live events, bounding queue growth under
 // arm/cancel churn (the ULI steal timeout pattern) to O(live events).
-func (k *Kernel) compactIfNeeded() {
-	if k.tombstones < compactTombstoneFloor {
+// The serial queue and every shard queue compact independently.
+func (k *Kernel) compactQueue(q *eventHeap, tombstones *int) {
+	if *tombstones < compactTombstoneFloor {
 		return
 	}
-	if live := len(k.queue) - k.tombstones; k.tombstones <= live/2 {
+	if live := len(*q) - *tombstones; *tombstones <= live/2 {
 		return
 	}
+	heap := *q
 	w := 0
-	for _, ref := range k.queue {
+	for _, ref := range heap {
 		if s := &k.slots[ref.idx]; s.fn == nil && s.proc == nil {
 			k.freeSlot(ref.idx)
 			continue
 		}
-		k.queue[w] = ref
+		heap[w] = ref
 		w++
 	}
-	k.queue = k.queue[:w]
-	k.tombstones = 0
+	heap = heap[:w]
+	*q = heap
+	*tombstones = 0
 	for i := w/2 - 1; i >= 0; i-- {
-		k.siftDown(i)
+		heap.siftDown(i)
 	}
 }
 
 // QueueLen returns the number of queue entries, including
-// not-yet-reclaimed tombstones (diagnostics and tests).
-func (k *Kernel) QueueLen() int { return len(k.queue) }
+// not-yet-reclaimed tombstones (diagnostics and tests). On a sharded
+// kernel it sums over shard queues.
+func (k *Kernel) QueueLen() int {
+	if k.sh != nil {
+		n := 0
+		for i := range k.sh.queues {
+			n += len(k.sh.queues[i].q)
+		}
+		return n
+	}
+	return len(k.queue)
+}
 
-// Tombstones returns the number of cancelled entries still queued.
-func (k *Kernel) Tombstones() int { return k.tombstones }
+// Tombstones returns the number of cancelled entries still queued,
+// summed over shard queues on a sharded kernel.
+func (k *Kernel) Tombstones() int {
+	if k.sh != nil {
+		n := 0
+		for i := range k.sh.queues {
+			n += k.sh.queues[i].tombstones
+		}
+		return n
+	}
+	return k.tombstones
+}
 
 // peekLive returns the firing time of the earliest live event,
 // discarding any tombstones it finds at the root on the way. Tombstone
 // reclamation has no observable effect on simulated time, so doing it
 // here (from a Proc's wait) is equivalent to doing it in Run.
 func (k *Kernel) peekLive() (Time, bool) {
+	if k.sh != nil {
+		ref, ok := k.sh.peekMin(k)
+		return ref.at, ok
+	}
 	for len(k.queue) > 0 {
 		ref := k.queue[0]
 		if s := &k.slots[ref.idx]; s.fn != nil || s.proc != nil {
 			return ref.at, true
 		}
-		k.popRoot()
+		k.queue.popRoot()
 		k.tombstones--
 		k.freeSlot(ref.idx)
 	}
@@ -434,23 +533,38 @@ func (k *Kernel) dispatch(self *Proc, onKernel bool) dispatchOutcome {
 			k.interruptHit = true
 			return k.parkDispatch(onKernel)
 		}
-		if len(k.queue) == 0 {
+		if k.sh == nil {
+			if len(k.queue) == 0 {
+				return k.parkDispatch(onKernel)
+			}
+		} else if !k.sh.hasQueued() {
 			return k.parkDispatch(onKernel)
 		}
 		if k.stop != nil && k.stop() {
 			k.stopHit = true
 			return k.parkDispatch(onKernel)
 		}
-		ref := k.popRoot()
+		var ref eventRef
+		if k.sh == nil {
+			ref = k.queue.popRoot()
+			s := &k.slots[ref.idx]
+			if s.proc == nil && s.fn == nil {
+				// A stopped Timer: skip without advancing time, so cancelled
+				// timeouts leave no trace in the cycle count.
+				k.tombstones--
+				k.freeSlot(ref.idx)
+				continue
+			}
+		} else {
+			var live bool
+			if ref, live = k.sh.popMin(k); !live {
+				// Only tombstones were queued and popMin reclaimed them
+				// all; loop back to the empty check.
+				continue
+			}
+		}
 		s := &k.slots[ref.idx]
 		p, fn := s.proc, s.fn
-		if p == nil && fn == nil {
-			// A stopped Timer: skip without advancing time, so cancelled
-			// timeouts leave no trace in the cycle count.
-			k.tombstones--
-			k.freeSlot(ref.idx)
-			continue
-		}
 		if ref.at > k.maxTime {
 			k.deadlineHit, k.deadlineAt = true, ref.at
 			return k.parkDispatch(onKernel)
@@ -461,6 +575,9 @@ func (k *Kernel) dispatch(self *Proc, onKernel bool) dispatchOutcome {
 		// callback may immediately reuse the slot for a new event.
 		k.freeSlot(ref.idx)
 		k.fired++
+		if k.sh != nil {
+			k.sh.onFire(ref)
+		}
 		if p != nil {
 			if p.finished {
 				k.cbPanic = fmt.Sprintf("sim: resuming finished proc %q", p.name)
@@ -541,7 +658,7 @@ func (k *Kernel) Run(stop func() bool) error {
 			reason := *k.intrReason.Swap(nil)
 			return k.watchdogErr("interrupted: " + reason)
 		}
-		if len(k.queue) == 0 {
+		if k.QueueLen() == 0 {
 			break
 		}
 	}
@@ -570,8 +687,12 @@ func (k *Kernel) DumpState(w io.Writer) {
 			finished++
 		}
 	}
+	queued, dead := k.QueueLen(), k.Tombstones()
 	fmt.Fprintf(w, "kernel: cycle=%d queued-events=%d (%d cancelled) procs=%d/%d finished\n",
-		k.now, len(k.queue)-k.tombstones, k.tombstones, finished, len(k.procs))
+		k.now, queued-dead, dead, finished, len(k.procs))
+	if k.sh != nil {
+		k.sh.dump(w)
+	}
 	for _, p := range k.procs {
 		if p.finished {
 			continue

@@ -1,0 +1,295 @@
+// Event sharding: the conservative-lookahead (PDES) decomposition of
+// one simulation into K event shards.
+//
+// Shard partitions the kernel's event queue into K independent heaps.
+// Every event is owned by exactly one shard: a proc's resumes land on
+// its home shard (NewProcOn), a plain callback lands on the shard of
+// the event that scheduled it, and explicit message deliveries name the
+// receiving shard with AtOn. The dispatcher merges the shard heaps by
+// the same global (time, seq) order the serial kernel uses — a linear
+// scan of K roots instead of one root — so dispatch order, and
+// therefore every stat, oracle observation, and fault-injection draw,
+// is byte-identical to the serial kernel at any K and any partition, by
+// construction rather than by luck.
+//
+// The lookahead is the machine layer's promise that cross-shard
+// interactions are latency-bounded: no event executing in shard A may
+// schedule an event on shard B sooner than `lookahead` cycles out
+// (for the mesh machines, the minimum cross-shard NoC hop latency).
+// The kernel verifies the promise on every cross-shard post and counts
+// breaches as lookahead violations — a violation cannot corrupt
+// results here (order is globally merged regardless), but it falsifies
+// the bound a barrier-synchronized parallel executor would rely on, so
+// the equivalence suite asserts zero.
+//
+// Epoch accounting quantifies the parallelism the decomposition
+// exposes: time is divided into epochs of `lookahead` cycles, and for
+// each epoch that fired at least one event the kernel records how many
+// distinct shards were active. Within one epoch, events on different
+// shards are causally independent (any influence needs a cross-shard
+// post, which lands at least one epoch later), so the mean active-shard
+// count is exactly the speedup ceiling for a lock-step epoch-parallel
+// executor on this workload. See DESIGN.md §16.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// maxShards bounds K so epoch accounting fits one active-shard bitmask
+// (and matches the 64-tile machine this decomposition targets).
+const maxShards = 64
+
+// shardQueue is one shard's private slice of the event queue.
+type shardQueue struct {
+	q          eventHeap
+	tombstones int
+	scheduled  uint64
+	fired      uint64
+}
+
+// shardSet is all sharding state, hung off the kernel as one pointer so
+// the serial hot paths pay a single nil check.
+type shardSet struct {
+	queues    []shardQueue
+	lookahead Time
+	// dispatching is the shard of the event currently firing, or -1
+	// outside dispatch (setup code before Run). Plain callbacks inherit
+	// it; cross-shard accounting is suppressed at -1 so setup posts
+	// (initial proc resumes) are not misread as shard traffic.
+	dispatching int16
+
+	// Cross-shard traffic counters.
+	crossPosts uint64
+	violations uint64
+
+	// Epoch accounting: activeMask collects the shards that fired in the
+	// current epoch (index = at / lookahead); a fire in a later epoch
+	// flushes it into the totals. Only epochs with at least one event
+	// count — idle epochs are free for any executor.
+	epoch         Time
+	activeMask    uint64
+	activeEpochs  uint64
+	shardEpochSum uint64
+}
+
+// Shard partitions an empty kernel into n event shards with the given
+// conservative lookahead (cycles). It must be called before any proc or
+// event is created; the partition is fixed for the kernel's lifetime.
+// n = 1 is valid (one shard holding everything) and exercises the same
+// code paths. The lookahead must be at least 1 cycle.
+func (k *Kernel) Shard(n int, lookahead Time) {
+	if n < 1 || n > maxShards {
+		panic(fmt.Sprintf("sim: Shard(%d) outside [1,%d]", n, maxShards))
+	}
+	if lookahead < 1 {
+		panic("sim: Shard with zero lookahead")
+	}
+	if k.sh != nil {
+		panic("sim: Shard called twice")
+	}
+	if len(k.queue) > 0 || len(k.slots) > 0 || len(k.procs) > 0 {
+		panic("sim: Shard on a non-empty kernel")
+	}
+	k.sh = &shardSet{
+		queues:      make([]shardQueue, n),
+		lookahead:   lookahead,
+		dispatching: -1,
+	}
+}
+
+// Sharded reports whether Shard was called.
+func (k *Kernel) Sharded() bool { return k.sh != nil }
+
+// NumShards returns the number of event shards (1 on a serial kernel).
+func (k *Kernel) NumShards() int {
+	if k.sh == nil {
+		return 1
+	}
+	return len(k.sh.queues)
+}
+
+// Lookahead returns the sharded kernel's conservative lookahead in
+// cycles (0 on a serial kernel).
+func (k *Kernel) Lookahead() Time {
+	if k.sh == nil {
+		return 0
+	}
+	return k.sh.lookahead
+}
+
+// cur returns the shard new plain callbacks belong to: the shard of the
+// event currently dispatching, or shard 0 during setup.
+func (ss *shardSet) cur() int16 {
+	if ss.dispatching < 0 {
+		return 0
+	}
+	return ss.dispatching
+}
+
+// enqueue pushes a ref onto its shard's heap, counting cross-shard
+// posts and lookahead violations. Accounting only applies while an
+// event is dispatching: setup-time posts (initial resumes) have no
+// sending shard.
+func (ss *shardSet) enqueue(k *Kernel, ref eventRef) {
+	sq := &ss.queues[ref.shard]
+	sq.scheduled++
+	if ss.dispatching >= 0 && ref.shard != ss.dispatching {
+		ss.crossPosts++
+		if ref.at < k.now+ss.lookahead {
+			ss.violations++
+		}
+	}
+	sq.q.push(ref)
+}
+
+// hasQueued reports whether any shard heap holds entries (live or
+// tombstoned) — the sharded analogue of len(queue) > 0.
+func (ss *shardSet) hasQueued() bool {
+	for i := range ss.queues {
+		if len(ss.queues[i].q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// skimDead pops reclaimable tombstones off one shard heap's root so the
+// root, if present, is live. Reclamation has no observable effect on
+// simulated time (same argument as peekLive).
+func (ss *shardSet) skimDead(k *Kernel, sq *shardQueue) {
+	for len(sq.q) > 0 {
+		ref := sq.q[0]
+		if s := &k.slots[ref.idx]; s.fn != nil || s.proc != nil {
+			return
+		}
+		sq.q.popRoot()
+		sq.tombstones--
+		k.freeSlot(ref.idx)
+	}
+}
+
+// peekMin returns (without removing) the globally minimum live event
+// across all shard heaps, by the same (time, seq) order the serial
+// kernel pops in.
+func (ss *shardSet) peekMin(k *Kernel) (eventRef, bool) {
+	best := -1
+	var bestRef eventRef
+	for i := range ss.queues {
+		sq := &ss.queues[i]
+		ss.skimDead(k, sq)
+		if len(sq.q) == 0 {
+			continue
+		}
+		if best < 0 || refLess(sq.q[0], bestRef) {
+			best, bestRef = i, sq.q[0]
+		}
+	}
+	return bestRef, best >= 0
+}
+
+// popMin removes and returns the globally minimum live event. ok is
+// false when every heap drained (only tombstones were queued).
+func (ss *shardSet) popMin(k *Kernel) (eventRef, bool) {
+	ref, ok := ss.peekMin(k)
+	if !ok {
+		return eventRef{}, false
+	}
+	ss.queues[ref.shard].q.popRoot()
+	return ref, true
+}
+
+// onFire records a dispatched event: the shard now executing (plain
+// callbacks it schedules inherit it) and the epoch activity mask.
+func (ss *shardSet) onFire(ref eventRef) {
+	ss.dispatching = ref.shard
+	ss.queues[ref.shard].fired++
+	ep := ref.at / ss.lookahead
+	if ep != ss.epoch {
+		ss.flushEpoch()
+		ss.epoch = ep
+	}
+	ss.activeMask |= 1 << uint(ref.shard)
+}
+
+// flushEpoch folds the current epoch's activity mask into the totals.
+func (ss *shardSet) flushEpoch() {
+	if ss.activeMask == 0 {
+		return
+	}
+	ss.activeEpochs++
+	ss.shardEpochSum += uint64(bits.OnesCount64(ss.activeMask))
+	ss.activeMask = 0
+}
+
+// ShardCounters is one shard's slice of the host-performance counters.
+type ShardCounters struct {
+	Scheduled uint64 `json:"scheduled"`
+	Fired     uint64 `json:"fired"`
+}
+
+// ShardStats is the sharded kernel's decomposition report: cross-shard
+// traffic, lookahead-violation count (zero on a correctly partitioned
+// machine), and the epoch-concurrency profile. Snapshot semantics; safe
+// to call mid-run from the simulation goroutine or after Run returns.
+type ShardStats struct {
+	Shards       int             `json:"shards"`
+	Lookahead    Time            `json:"lookahead"`
+	CrossPosts   uint64          `json:"cross_posts"`
+	Violations   uint64          `json:"violations"`
+	ActiveEpochs uint64          `json:"active_epochs"`
+	ShardEpochs  uint64          `json:"shard_epochs"`
+	PerShard     []ShardCounters `json:"per_shard"`
+}
+
+// AvgConcurrency is the mean number of distinct shards active per
+// non-idle epoch — the speedup ceiling for a lock-step epoch-parallel
+// executor of this decomposition on this workload.
+func (s *ShardStats) AvgConcurrency() float64 {
+	if s == nil || s.ActiveEpochs == 0 {
+		return 0
+	}
+	return float64(s.ShardEpochs) / float64(s.ActiveEpochs)
+}
+
+// ShardStats returns the decomposition report, or nil on a serial
+// kernel. The in-progress epoch is included.
+func (k *Kernel) ShardStats() *ShardStats {
+	ss := k.sh
+	if ss == nil {
+		return nil
+	}
+	st := &ShardStats{
+		Shards:       len(ss.queues),
+		Lookahead:    ss.lookahead,
+		CrossPosts:   ss.crossPosts,
+		Violations:   ss.violations,
+		ActiveEpochs: ss.activeEpochs,
+		ShardEpochs:  ss.shardEpochSum,
+		PerShard:     make([]ShardCounters, len(ss.queues)),
+	}
+	if ss.activeMask != 0 {
+		st.ActiveEpochs++
+		st.ShardEpochs += uint64(bits.OnesCount64(ss.activeMask))
+	}
+	for i := range ss.queues {
+		st.PerShard[i] = ShardCounters{
+			Scheduled: ss.queues[i].scheduled,
+			Fired:     ss.queues[i].fired,
+		}
+	}
+	return st
+}
+
+// dump appends the shard report to DumpState output.
+func (ss *shardSet) dump(w io.Writer) {
+	fmt.Fprintf(w, "shards: %d, lookahead=%d cycles, cross-posts=%d violations=%d\n",
+		len(ss.queues), ss.lookahead, ss.crossPosts, ss.violations)
+	for i := range ss.queues {
+		sq := &ss.queues[i]
+		fmt.Fprintf(w, "  shard %d: queued=%d (%d cancelled) scheduled=%d fired=%d\n",
+			i, len(sq.q)-sq.tombstones, sq.tombstones, sq.scheduled, sq.fired)
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardedTraceRun drives the same twisty scenario as traceRun but on a
+// kernel split into shards (0 = serial), spreading the procs across
+// shards. Logs and final clocks must match the serial kernel exactly
+// for every K and both paranoia modes.
+func shardedTraceRun(t *testing.T, shards int, paranoid bool) ([]string, Time) {
+	t.Helper()
+	k := NewKernel()
+	if shards > 0 {
+		k.Shard(shards, 2)
+	}
+	k.SetParanoid(paranoid)
+	on := func(i int) int {
+		if shards == 0 {
+			return 0
+		}
+		return i % shards
+	}
+	var log []string
+	note := func(who string, p *Proc) {
+		log = append(log, fmt.Sprintf("%s@%d", who, p.Now()))
+	}
+	var sleeper *Proc
+	sleeper = k.NewProcOn(on(0), "sleeper", 0, func(p *Proc) {
+		note("s0", p)
+		p.Block()
+		note("s1", p)
+		p.Delay(5)
+		note("s2", p)
+	})
+	k.NewProcOn(on(1), "worker", 0, func(p *Proc) {
+		note("w0", p)
+		p.Delay(3)
+		note("w1", p)
+		tm := p.Kernel().TimerAfter(1000, func() { t.Error("cancelled timer fired") })
+		p.Delay(10)
+		tm.Stop()
+		note("w2", p)
+		p.Delay(0)
+		note("w3", p)
+		p.Delay(500)
+		note("w4", p)
+	})
+	k.NewProcOn(on(2), "waker", 1, func(p *Proc) {
+		note("k0", p)
+		p.Delay(6)
+		sleeper.Unblock(p.Now() + 2)
+		note("k1", p)
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return log, k.Now()
+}
+
+// TestShardedTraceEquivalence proves the sharded dispatcher reproduces
+// the serial kernel's event interleaving exactly, for several shard
+// counts (including shards the scenario leaves idle) crossed with both
+// paranoia modes.
+func TestShardedTraceEquivalence(t *testing.T) {
+	refLog, refEnd := shardedTraceRun(t, 0, false)
+	for _, shards := range []int{1, 2, 3, 7} {
+		for _, paranoid := range []bool{false, true} {
+			log, end := shardedTraceRun(t, shards, paranoid)
+			if end != refEnd {
+				t.Fatalf("shards=%d paranoid=%v: final clock %d, serial %d",
+					shards, paranoid, end, refEnd)
+			}
+			if fmt.Sprint(log) != fmt.Sprint(refLog) {
+				t.Fatalf("shards=%d paranoid=%v: log %v, serial %v",
+					shards, paranoid, log, refLog)
+			}
+		}
+	}
+}
+
+// TestShardedSameTimeOrder: same-time events on different shards must
+// fire in global scheduling (seq) order, exactly as one serial heap
+// would pop them.
+func TestShardedSameTimeOrder(t *testing.T) {
+	k := NewKernel()
+	k.Shard(4, 2)
+	var order []int
+	// Schedule at the same instant across shards in a scrambled shard
+	// order; seq order is the scheduling order below.
+	for i, shard := range []int{3, 0, 2, 1, 2, 0} {
+		i := i
+		k.AtOn(shard, 10, func() { order = append(order, i) })
+	}
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("fire order %v, want %v", order, want)
+	}
+}
+
+// TestShardedTimerCompaction: cancelled timers on a sharded kernel are
+// reclaimed per shard under the same churn bound as the serial queue,
+// and cancellation leaves no trace in simulated time.
+func TestShardedTimerCompaction(t *testing.T) {
+	k := NewKernel()
+	k.Shard(2, 2)
+	k.NewProcOn(1, "churner", 0, func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			tm := p.Kernel().TimerAfter(1000, func() { t.Error("cancelled timer fired") })
+			p.Delay(1)
+			if !tm.Stop() {
+				t.Error("Stop returned false for an armed timer")
+			}
+		}
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 200 {
+		t.Fatalf("final time %d, want 200", k.Now())
+	}
+	if tomb := k.Tombstones(); tomb > 2*compactTombstoneFloor {
+		t.Fatalf("tombstones %d never compacted", tomb)
+	}
+}
+
+// TestShardStatsAccounting checks the decomposition report: cross-shard
+// posts are counted, posts inside the lookahead window are flagged as
+// violations, and the epoch concurrency profile sees concurrent shards.
+func TestShardStatsAccounting(t *testing.T) {
+	k := NewKernel()
+	k.Shard(2, 10)
+	// Two procs ping events at each other's shard with a latency equal
+	// to the lookahead: legal cross traffic.
+	k.NewProcOn(0, "a", 0, func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.Kernel().AtOn(1, p.Now()+10, func() {})
+			p.Delay(10)
+		}
+	})
+	k.NewProcOn(1, "b", 0, func(p *Proc) {
+		p.Delay(1)
+		// One post below the lookahead bound: a violation.
+		p.Kernel().AtOn(0, p.Now()+3, func() {})
+		p.Delay(80)
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := k.ShardStats()
+	if st == nil {
+		t.Fatal("ShardStats nil on a sharded kernel")
+	}
+	if st.Shards != 2 || st.Lookahead != 10 {
+		t.Fatalf("plan = %d shards lookahead %d, want 2/10", st.Shards, st.Lookahead)
+	}
+	if st.CrossPosts < 9 {
+		t.Fatalf("cross posts %d, want >= 9", st.CrossPosts)
+	}
+	if st.Violations != 1 {
+		t.Fatalf("violations %d, want exactly 1", st.Violations)
+	}
+	if st.ActiveEpochs == 0 || st.ShardEpochs < st.ActiveEpochs {
+		t.Fatalf("epoch totals %d/%d inconsistent", st.ShardEpochs, st.ActiveEpochs)
+	}
+	if avg := st.AvgConcurrency(); avg <= 1.0 || avg > 2.0 {
+		t.Fatalf("avg concurrency %.2f outside (1,2] for 2 busy shards", avg)
+	}
+	var fired uint64
+	for _, sc := range st.PerShard {
+		fired += sc.Fired
+	}
+	if fired != k.Fired() {
+		t.Fatalf("per-shard fired sums to %d, kernel fired %d", fired, k.Fired())
+	}
+}
+
+// TestShardStatsNilWhenSerial: the serial kernel reports no shard plan.
+func TestShardStatsNilWhenSerial(t *testing.T) {
+	k := NewKernel()
+	if k.ShardStats() != nil || k.Sharded() || k.NumShards() != 1 || k.Lookahead() != 0 {
+		t.Fatal("serial kernel leaked shard state")
+	}
+}
+
+// TestShardValidation: the partition is locked down — bad shard counts,
+// zero lookahead, double sharding, sharding a non-empty kernel, and
+// out-of-range shard targets all panic loudly.
+func TestShardValidation(t *testing.T) {
+	expectPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), want) {
+				t.Errorf("%s: panic %q, want substring %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	expectPanic("zero shards", "Shard(0)", func() { NewKernel().Shard(0, 2) })
+	expectPanic("too many shards", "Shard(65)", func() { NewKernel().Shard(65, 2) })
+	expectPanic("zero lookahead", "zero lookahead", func() { NewKernel().Shard(2, 0) })
+	expectPanic("double shard", "called twice", func() {
+		k := NewKernel()
+		k.Shard(2, 2)
+		k.Shard(2, 2)
+	})
+	expectPanic("non-empty kernel", "non-empty", func() {
+		k := NewKernel()
+		k.At(5, func() {})
+		k.Shard(2, 2)
+	})
+	expectPanic("proc shard range", "shard 2", func() {
+		k := NewKernel()
+		k.Shard(2, 2)
+		k.NewProcOn(2, "oob", 0, func(p *Proc) {})
+	})
+	expectPanic("AtOn shard range", "out of range", func() {
+		k := NewKernel()
+		k.Shard(2, 2)
+		k.AtOn(5, 1, func() {})
+	})
+	expectPanic("serial proc shard", "shard 1", func() {
+		NewKernel().NewProcOn(1, "oob", 0, func(p *Proc) {})
+	})
+}
+
+// TestShardedFastWaits: the WaitUntil fast path still elides events on
+// a sharded kernel (peekMin spans all shard heaps).
+func TestShardedFastWaits(t *testing.T) {
+	k := NewKernel()
+	k.Shard(4, 2)
+	k.NewProcOn(2, "p", 0, func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Delay(3)
+		}
+	})
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.FastWaits() < 90 {
+		t.Fatalf("FastWaits = %d, want ~100", k.FastWaits())
+	}
+	if k.Now() != 300 {
+		t.Fatalf("final time = %d, want 300", k.Now())
+	}
+}
+
+// TestShardedDumpState: diagnostics include the per-shard report.
+func TestShardedDumpState(t *testing.T) {
+	k := NewKernel()
+	k.Shard(2, 4)
+	k.NewProcOn(1, "p", 0, func(p *Proc) { p.Delay(3) })
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	k.DumpState(&b)
+	out := b.String()
+	if !strings.Contains(out, "shards: 2, lookahead=4") || !strings.Contains(out, "shard 1:") {
+		t.Fatalf("DumpState missing shard report:\n%s", out)
+	}
+}
