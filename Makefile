@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race parallel-smoke pdes-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke bench bench-check
+.PHONY: all ci vet build test race parallel-smoke pdes-smoke pdes-exec-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke bench bench-check bench-plot
 
 all: ci
 
-ci: vet build test race parallel-smoke pdes-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke
+ci: vet build test race parallel-smoke pdes-smoke pdes-exec-smoke chaos-smoke chaos-lossy-smoke oracle-smoke open-smoke bench-smoke serve-smoke bench-check-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,14 +17,16 @@ build:
 test:
 	$(GO) test ./...
 
-# The simulator itself is single-goroutine-at-a-time by construction;
-# the race detector earns its keep on the packages with real
-# concurrency: the native wsrt executor, pure-Go helpers, the
-# host-parallel bench layer (singleflight caches, Prewarm worker pool,
-# and the parallel-vs-serial determinism tests), and the serving stack
-# (worker pool, admission queue, drain, and the disk store).
+# The merged executor is single-goroutine-at-a-time by construction,
+# but the epoch-parallel shard executor (PR 10) runs real worker
+# goroutines inside the kernel, so internal/sim and the bench layer
+# (singleflight caches, Prewarm worker pool, the parallel-vs-serial
+# determinism tests) get the full -cpu=1,2,4 spread; the other
+# concurrent packages — wsrt, openload, serve, store — run at the
+# default GOMAXPROCS.
 race:
-	$(GO) test -race ./internal/sim ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/openload ./internal/bench/... ./internal/serve ./internal/store
+	$(GO) test -race -cpu=1,2,4 ./internal/sim ./internal/bench/...
+	$(GO) test -race ./internal/mem ./internal/graph ./internal/fault ./internal/wsrt ./internal/openload ./internal/serve ./internal/store
 
 # Host-parallel determinism gate: fan a target subset out over 4
 # workers; the render pass reads only the warmed cache, so this passing
@@ -43,6 +45,19 @@ pdes-smoke:
 	"$$dir/btsim" -config bT/HCC-DTS-gwb -app cilk5-cs -size test > "$$dir/serial.txt" && \
 	"$$dir/btsim" -config bT/HCC-DTS-gwb -app cilk5-cs -size test -shards 4 > "$$dir/sharded.txt" && \
 	cmp "$$dir/serial.txt" "$$dir/sharded.txt" && echo "pdes-smoke: serial and 4-shard runs identical"
+
+# Epoch-parallel executor equivalence gate: the same runs with each
+# simulation's shard event streams on a pool of host workers
+# (-shard-exec parallel) must print byte-identical rendered tables AND
+# a byte-identical -json metric export (executor accounting goes to
+# stderr, like shard accounting; see DESIGN.md §17).
+pdes-exec-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir/paperbench" ./cmd/paperbench && \
+	"$$dir/paperbench" -size test -apps cilk5-cs -shards 1 -json "$$dir/serial.json" table4 uli > "$$dir/serial.txt" && \
+	"$$dir/paperbench" -size test -apps cilk5-cs -shards 4 -shard-exec parallel -json "$$dir/par.json" table4 uli > "$$dir/par.txt" && \
+	cmp "$$dir/serial.txt" "$$dir/par.txt" && cmp "$$dir/serial.json" "$$dir/par.json" && \
+	echo "pdes-exec-smoke: serial and 4-shard parallel-executor runs identical (tables and JSON)"
 
 # A fast end-to-end chaos pass: two apps under every stock scenario on
 # the 8-core chaos machine, output verified against the serial
@@ -91,15 +106,21 @@ bench-smoke:
 serve-smoke:
 	$(GO) run ./cmd/simd -smoke
 
-# Regenerate BENCH_PR9.json and append this commit's measurement to the
-# cumulative BENCH.json trajectory: the kernel microbenchmark, a
+# Regenerate BENCH_PR10.json and append this commit's measurement to
+# the cumulative BENCH.json trajectory: the kernel microbenchmark, a
 # strictly serial ref-size table3 pass, and the same worklist on 2/4/8
-# conservative-lookahead kernel shards, measured on this host. The
-# PR file's "before" baseline section is preserved; only "after" and
-# the derived speedup ratios are rewritten (see EXPERIMENTS.md
-# "Profiling and benchmarking").
+# conservative-lookahead kernel shards under both the merged and the
+# epoch-parallel executors, measured on this host. The PR file's
+# "before" baseline section is preserved; only "after" and the derived
+# speedup ratios are rewritten (see EXPERIMENTS.md "Profiling and
+# benchmarking").
 bench:
 	$(GO) run ./cmd/paperbench bench
+
+# Render the BENCH.json trajectory to the committed static page
+# (inline SVG, no scripts, no external assets).
+bench-plot:
+	$(GO) run ./cmd/paperbench bench-plot
 
 # Perf-regression gate: re-measure every series in bench/gates.toml and
 # compare against the baselines recorded in BENCH.json; exits non-zero

@@ -56,6 +56,10 @@ func main() {
 		"simulated-cycle deadline; the run fails with a machine-state dump past it (0 = config watchdog default)")
 	shards := flag.Int("shards", 1,
 		"conservative-lookahead event-kernel shards; results are byte-identical at any count (1 = serial)")
+	shardExec := flag.String("shard-exec", "merged",
+		"sharded-kernel executor: merged, or parallel (epoch-parallel host worker pool; byte-identical results)")
+	execWorkers := flag.Int("exec-workers", 0,
+		"parallel-executor worker pool bound (0 = one worker per shard)")
 	traceFile := flag.String("trace", "", "write a cycle-stamped scheduler trace to this file")
 	openMode := flag.Bool("open", false, "run an open-system serving experiment instead of a closed-loop kernel")
 	workload := flag.String("workload", "rmat-query", "open-system per-request workload (see openload.Workloads)")
@@ -126,6 +130,11 @@ func main() {
 				*shards, machine.MaxShards)
 		}
 	}
+	execMode, err := sim.ParseExecMode(*shardExec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btsim: -shard-exec:", err)
+		os.Exit(2)
+	}
 
 	if *openMode {
 		runOpen(*cfgName, openload.Spec{
@@ -137,11 +146,13 @@ func main() {
 			MaxInFlight: *inflight,
 			Horizon:     sim.Time(*horizon),
 		}, openload.Options{
-			Scenario:  *faults,
-			FaultSeed: *faultSeed,
-			Oracle:    *oracleOn,
-			Deadline:  sim.Time(*deadline),
-			Shards:    *shards,
+			Scenario:    *faults,
+			FaultSeed:   *faultSeed,
+			Oracle:      *oracleOn,
+			Deadline:    sim.Time(*deadline),
+			Shards:      *shards,
+			ShardExec:   execMode,
+			ExecWorkers: *execWorkers,
 		})
 		return
 	}
@@ -149,6 +160,8 @@ func main() {
 	s := bench.NewSuite(sz)
 	s.Grain = *grain
 	s.Shards = *shards
+	s.ShardExec = execMode
+	s.ExecWorkers = *execWorkers
 	s.FaultScenario = *faults
 	s.FaultSeed = *faultSeed
 	s.Oracle = *oracleOn
@@ -167,6 +180,11 @@ func main() {
 		o := s.ShardObs()
 		fmt.Fprintf(os.Stderr, "btsim: shards %d: %d cross-shard posts, %d lookahead violations, avg concurrency %.2f\n",
 			*shards, o.CrossPosts, o.Violations, o.AvgConcurrency())
+		if execMode == sim.ExecParallel {
+			eo := s.ExecObs()
+			fmt.Fprintf(os.Stderr, "btsim: shard-exec parallel: %d handoffs, %d inline, %d outboxed, %d flushes\n",
+				eo.Handoffs, eo.Inline, eo.Outboxed, eo.Flushes)
+		}
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -3,11 +3,13 @@
 // Usage:
 //
 //	paperbench [-size test|ref|big] [-apps a,b,c] [-j N] [-shards K]
+//	           [-shard-exec merged|parallel] [-exec-workers N]
 //	           [-faults s1,s2] [-fault-seed N] [-deadline cycles]
 //	           [-cpuprofile f] [-memprofile f] [-v] [targets...]
 //	paperbench serve [simd flags]
 //	paperbench bench-check [-gates f] [-iterations N] [-confidence c]
 //	           [-bench-history f] [-check-json f] [-update-baseline] [-v]
+//	paperbench bench-plot [-bench-history f] [-o docs/bench.html]
 //
 // Targets: table3 table4 table5 fig4 fig5 fig6 fig7 fig8 uli energy
 // chaos open bench all (default: all except table5, which simulates a
@@ -35,15 +37,23 @@
 // threshold. Intentional changes are blessed with -update-baseline
 // (see EXPERIMENTS.md "Regression gating").
 //
+// The bench-plot subcommand renders the BENCH.json trajectory as a
+// self-contained static HTML page (inline SVG, no scripts or external
+// assets) so the perf history is browsable from the repo.
+//
 // The 143 simulations behind the full evaluation are independent, so
 // paperbench fans them out over -j host workers (default: all host
 // cores) before rendering; tables and figures are always rendered
 // serially from the warmed cache, so the output is byte-identical at
 // any -j. -shards K additionally splits each simulation's event kernel
 // into K conservative-lookahead shards (byte-identical at any K; 0
-// picks K from the host cores -j leaves over). -j and -shards draw
-// from one shared host-core budget: when their product oversubscribes
-// the host, the jobs side is clamped with a warning.
+// picks K from the host cores -j leaves over). -shard-exec parallel
+// additionally runs each sharded simulation's shard event streams on a
+// bounded pool of host workers (-exec-workers; the pool draws from the
+// same host-core budget) — still byte-identical; see DESIGN.md §17.
+// -j and -shards draw from one shared host-core budget: when their
+// product oversubscribes the host, the jobs side is clamped with a
+// warning.
 //
 // The serve subcommand runs the same daemon as cmd/simd (see that
 // command and EXPERIMENTS.md "Running the service").
@@ -73,6 +83,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench-check" {
 		os.Exit(benchCheck(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench-plot" {
+		os.Exit(benchPlot(os.Args[2:]))
 	}
 	os.Exit(run())
 }
@@ -134,12 +147,42 @@ func benchCheck(args []string) int {
 	return 0
 }
 
+// benchPlot renders the BENCH.json trajectory to a static,
+// self-contained HTML page (inline SVG charts, no scripts).
+func benchPlot(args []string) int {
+	fs := flag.NewFlagSet("paperbench bench-plot", flag.ContinueOnError)
+	history := fs.String("bench-history", "BENCH.json", "trajectory file to render")
+	out := fs.String("o", "docs/bench.html", "output HTML file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "paperbench bench-plot: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	traj, err := bench.LoadTrajectory(*history)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench bench-plot:", err)
+		return 1
+	}
+	if err := bench.WriteTrajectoryHTML(*out, traj, *history); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench bench-plot:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return 0
+}
+
 func run() int {
 	size := flag.String("size", "ref", "input size: test, ref, or big")
 	appList := flag.String("apps", "", "comma-separated app subset (default: all 13)")
 	jobs := flag.Int("j", 0, "host workers for the simulation fan-out (0 = all host cores, 1 = serial)")
 	shards := flag.Int("shards", 0,
 		"conservative-lookahead kernel shards per simulation, byte-identical at any count (0 = host cores left over by -j, 1 = serial)")
+	shardExec := flag.String("shard-exec", "merged",
+		"sharded-kernel executor: merged, or parallel (epoch-parallel host worker pool; byte-identical results)")
+	execWorkers := flag.Int("exec-workers", 0,
+		"parallel-executor worker pool bound per simulation (0 = one worker per shard)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	noVerify := flag.Bool("no-verify", false, "skip output verification after each run")
 	jsonOut := flag.String("json", "", "also dump all collected metrics as JSON to this file")
@@ -150,7 +193,7 @@ func run() int {
 		"per-run simulated-cycle deadline; a run past it fails with a machine-state dump (0 = each config's watchdog default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	benchOut := flag.String("bench-out", "BENCH_PR9.json",
+	benchOut := flag.String("bench-out", "BENCH_PR10.json",
 		"output file for the bench target (an existing 'before' baseline section is preserved)")
 	benchHistory := flag.String("bench-history", "BENCH.json",
 		"cumulative per-commit trajectory file the bench target appends to (empty = no trajectory)")
@@ -199,6 +242,11 @@ func run() int {
 	if *shards > machine.MaxShards {
 		fmt.Fprintf(os.Stderr, "paperbench: -shards %d exceeds the %d-shard kernel limit\n",
 			*shards, machine.MaxShards)
+		return 2
+	}
+	execMode, err := sim.ParseExecMode(*shardExec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: -shard-exec:", err)
 		return 2
 	}
 
@@ -280,6 +328,8 @@ func run() int {
 	s.Verify = !*noVerify
 	s.Deadline = sim.Time(*deadline)
 	s.Shards = gotShards
+	s.ShardExec = execMode
+	s.ExecWorkers = *execWorkers
 	if *verbose {
 		s.Progress = os.Stderr
 	}
@@ -325,7 +375,7 @@ func run() int {
 		case "energy":
 			err = s.EnergyReport(out, names)
 		case "chaos":
-			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, gotJobs, gotShards)
+			err = bench.Chaos(out, names, chaosScenarios, *faultSeed, gotJobs, gotShards, execMode)
 		case "open":
 			err = s.Open(out, bench.DefaultOpenSweep(sz))
 		case "bench":
@@ -351,6 +401,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr,
 				"paperbench: shards %d: %d cross-shard posts, %d lookahead violations, avg concurrency %.2f\n",
 				gotShards, o.CrossPosts, o.Violations, o.AvgConcurrency())
+		}
+		if execMode == sim.ExecParallel {
+			eo := s.ExecObs()
+			fmt.Fprintf(os.Stderr, "paperbench: shard-exec parallel: %d handoffs, %d inline, %d outboxed, %d flushes\n",
+				eo.Handoffs, eo.Inline, eo.Outboxed, eo.Flushes)
 		}
 	}
 

@@ -74,6 +74,14 @@ type Suite struct {
 	// byte-identical at any value, so — like Deadline — it is not part
 	// of the result cache key.
 	Shards int
+	// ShardExec selects the sharded kernel's executor
+	// (machine.Config.ShardExec): merged dispatch or the epoch-parallel
+	// worker pool. Also a host-execution knob with byte-identical
+	// results, and likewise excluded from the result cache key.
+	ShardExec sim.ExecMode
+	// ExecWorkers bounds the parallel executor's pool per simulation
+	// (machine.Config.ExecWorkers); <= 0 means one worker per shard.
+	ExecWorkers int
 	// SimHook, when non-nil, runs at the top of every simulation with
 	// the cell's names (and of every Cilkview analysis, with cfgName
 	// "view"), inside the suite's panic containment. It exists so
@@ -118,6 +126,14 @@ type Suite struct {
 	shardViolations   atomic.Uint64
 	shardActiveEpochs atomic.Uint64
 	shardEpochSum     atomic.Uint64
+	// Parallel-executor totals (zero unless ShardExec == ExecParallel):
+	// token handoffs into the worker pool, callbacks run inline on the
+	// worker already holding the token, outboxed cross-shard posts, and
+	// outbox flushes (see sim.ExecStats).
+	execHandoffs atomic.Uint64
+	execInline   atomic.Uint64
+	execOutboxed atomic.Uint64
+	execFlushes  atomic.Uint64
 }
 
 // flightCall is one in-flight simulation or analysis; waiters block on
@@ -175,6 +191,8 @@ func (s *Suite) at(size apps.Size, grain int) *Suite {
 	sub.Progress = s.Progress
 	sub.Deadline = s.Deadline
 	sub.Shards = s.Shards
+	sub.ShardExec = s.ShardExec
+	sub.ExecWorkers = s.ExecWorkers
 	sub.SimHook = s.SimHook
 	sub.progressMu = s.progressMu
 	s.subs[key] = sub
@@ -273,6 +291,8 @@ func (s *Suite) simulate(ctx context.Context, cfgName, appName string) (r *stats
 	}
 	cfg.Oracle = s.Oracle
 	cfg.Shards = s.Shards
+	cfg.ShardExec = s.ShardExec
+	cfg.ExecWorkers = s.ExecWorkers
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return nil, err
@@ -319,6 +339,12 @@ func (s *Suite) simulate(ctx context.Context, cfgName, appName string) (r *stats
 		s.shardViolations.Add(st.Violations)
 		s.shardActiveEpochs.Add(st.ActiveEpochs)
 		s.shardEpochSum.Add(st.ShardEpochs)
+	}
+	if es := m.Kernel.ExecStats(); es != nil {
+		s.execHandoffs.Add(es.Handoffs)
+		s.execInline.Add(es.Inline)
+		s.execOutboxed.Add(es.Outboxed)
+		s.execFlushes.Add(es.Flushes)
 	}
 	s.progress("ran %-14s on %-16s: %12d cycles\n", appName, cfgName, r.Cycles)
 	return r, nil
@@ -389,6 +415,42 @@ func (s *Suite) ShardObs() ShardObs {
 		o.Violations += so.Violations
 		o.ActiveEpochs += so.ActiveEpochs
 		o.ShardEpochs += so.ShardEpochs
+	}
+	return o
+}
+
+// ExecObs is the parallel-executor accounting a suite accumulates over
+// every simulation it ran under sim.ExecParallel (all-zero otherwise).
+// Host-side observability only — none of it appears in any table or
+// JSON export, which is how executor modes stay cmp-identical.
+type ExecObs struct {
+	Handoffs uint64 // token handoffs into the worker pool
+	Inline   uint64 // callbacks run on the worker already holding the token
+	Outboxed uint64 // cross-shard posts deferred through outboxes
+	Flushes  uint64 // outbox flushes (≈ active epoch barriers)
+}
+
+// ExecObs returns the parallel-executor totals over every simulation
+// this suite and its derived sub-suites have run.
+func (s *Suite) ExecObs() ExecObs {
+	o := ExecObs{
+		Handoffs: s.execHandoffs.Load(),
+		Inline:   s.execInline.Load(),
+		Outboxed: s.execOutboxed.Load(),
+		Flushes:  s.execFlushes.Load(),
+	}
+	s.mu.Lock()
+	subs := make([]*Suite, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		eo := sub.ExecObs()
+		o.Handoffs += eo.Handoffs
+		o.Inline += eo.Inline
+		o.Outboxed += eo.Outboxed
+		o.Flushes += eo.Flushes
 	}
 	return o
 }

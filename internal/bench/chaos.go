@@ -53,6 +53,12 @@ func RunChaos(appName, scenarioName string, seed uint64) (*ChaosResult, error) {
 // runs serial). Sharding cannot change any result — the equivalence
 // suite proves chaos cells byte-identical at every K.
 func RunChaosShards(appName, scenarioName string, seed uint64, shards int) (*ChaosResult, error) {
+	return RunChaosExec(appName, scenarioName, seed, shards, sim.ExecMerged)
+}
+
+// RunChaosExec is RunChaosShards with an explicit shard executor; the
+// parallel executor is equally invisible in every result.
+func RunChaosExec(appName, scenarioName string, seed uint64, shards int, exec sim.ExecMode) (*ChaosResult, error) {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return nil, err
@@ -71,6 +77,7 @@ func RunChaosShards(appName, scenarioName string, seed uint64, shards int) (*Cha
 	// faults must never produce a load no legal per-location order allows.
 	cfg.Oracle = true
 	cfg.Shards = shards
+	cfg.ShardExec = exec
 
 	m := machine.New(cfg)
 	rt := wsrt.New(m, wsrt.AutoVariant(m))
@@ -144,11 +151,11 @@ type chaosJob struct {
 // Runs fan out over a bounded pool of jobs host workers (jobs <= 0
 // means runtime.NumCPU()); each run is an independent simulation on a
 // shards-way sharded kernel (<= 1 serial), so the table is identical
-// at any jobs count and any shard count. Jobs and shards draw from one
-// host-core budget, same as Suite.Prewarm. The table itself is
-// rendered serially, in fixed (app, scenario) order, after all runs
-// finish.
-func Chaos(w io.Writer, appNames, scenarios []string, seed uint64, jobs, shards int) error {
+// at any jobs count, any shard count, and either shard executor. Jobs
+// and shards draw from one host-core budget, same as Suite.Prewarm.
+// The table itself is rendered serially, in fixed (app, scenario)
+// order, after all runs finish.
+func Chaos(w io.Writer, appNames, scenarios []string, seed uint64, jobs, shards int, exec sim.ExecMode) error {
 	if scenarios == nil {
 		scenarios = ChaosScenarios
 	}
@@ -183,7 +190,7 @@ func Chaos(w io.Writer, appNames, scenarios []string, seed uint64, jobs, shards 
 		go func(i int, c cell) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := RunChaosShards(c.app, c.scenario, seed, shards)
+			r, err := RunChaosExec(c.app, c.scenario, seed, shards, exec)
 			results[i] = chaosJob{r, err}
 		}(i, c)
 	}

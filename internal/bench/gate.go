@@ -12,7 +12,9 @@ import (
 
 	"bigtiny/internal/apps"
 	"bigtiny/internal/atomicio"
+	"bigtiny/internal/fault"
 	"bigtiny/internal/machine"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 )
 
@@ -31,12 +33,20 @@ import (
 // Gate names one perf-gated series.
 type Gate struct {
 	// Kind selects what is measured: "kernel" (the event-loop
-	// microbenchmark), "table3" (the serial table3 worklist), or
-	// "cell" (one simulation of App on Config).
+	// microbenchmark), "table3" (the serial table3 worklist), "cell"
+	// (one simulation of App on Config), or "open" (one open-system
+	// serving cell from the stock DefaultOpenSweep grid).
 	Kind string
-	// Config and App identify a cell gate's simulation.
+	// Config and App identify a cell gate's simulation. Config also
+	// names the machine of an open gate (App is unused there — the
+	// sweep's workload is fixed).
 	Config string
 	App    string
+	// Scenario is an open gate's fault scenario ("" = fault-free); it
+	// must name a registered fault scenario.
+	Scenario string
+	// Rate is an open gate's offered load, requests per 1000 cycles.
+	Rate float64
 	// Apps restricts a table3 gate's worklist (empty = all 13 apps).
 	Apps []string
 	// Size is the input size for table3/cell gates.
@@ -49,6 +59,11 @@ type Gate struct {
 	// construction — a sharded sim_cycles gate is the byte-identity
 	// property as a standing check.
 	Shards int
+	// ShardExec picks the shard executor for a sharded gate
+	// (sim.ExecParallel runs the epoch-parallel worker pool). A
+	// deterministic metric gated under the parallel executor is the
+	// executor's byte-identity promise as a standing check.
+	ShardExec sim.ExecMode
 	// Host marks a wall-clock gate whose baseline only holds on the
 	// host that blessed it; bench-check skips these unless the caller
 	// opts in (paperbench: -host-gates or PAPERBENCH_HOST_GATES=1).
@@ -91,6 +106,12 @@ var gateMetrics = map[string]map[string]gateMetricInfo{
 		"wall_sec":   {Unit: "s", LowerIsBetter: true},
 		"sim_cycles": {Unit: "cycles", LowerIsBetter: true},
 	},
+	"open": {
+		"latency_p99": {Unit: "cycles", LowerIsBetter: true},
+		"latency_p50": {Unit: "cycles", LowerIsBetter: true},
+		"sim_cycles":  {Unit: "cycles", LowerIsBetter: true},
+		"wall_sec":    {Unit: "s", LowerIsBetter: true},
+	},
 }
 
 // Validate checks the gate names a measurable series (kind, metric,
@@ -98,7 +119,7 @@ var gateMetrics = map[string]map[string]gateMetricInfo{
 func (g *Gate) Validate() error {
 	metrics, ok := gateMetrics[g.Kind]
 	if !ok {
-		return fmt.Errorf("gate: unknown kind %q (kernel, table3, or cell)", g.Kind)
+		return fmt.Errorf("gate: unknown kind %q (kernel, table3, cell, or open)", g.Kind)
 	}
 	if _, ok := metrics[g.Metric]; !ok {
 		var names []string
@@ -122,12 +143,28 @@ func (g *Gate) Validate() error {
 	if g.Kind == "kernel" && g.Shards > 1 {
 		return fmt.Errorf("gate %s: the kernel microbenchmark has no shard knob", g.Series())
 	}
+	if g.ShardExec == sim.ExecParallel && g.Shards <= 1 {
+		return fmt.Errorf("gate %s: shard_exec = \"parallel\" needs shards > 1", g.Series())
+	}
 	if g.Kind == "cell" {
 		if _, err := machine.Lookup(g.Config); err != nil {
 			return fmt.Errorf("gate %s: %w", g.Series(), err)
 		}
 		if _, err := apps.ByName(g.App); err != nil {
 			return fmt.Errorf("gate %s: %w", g.Series(), err)
+		}
+	}
+	if g.Kind == "open" {
+		if _, err := machine.Lookup(g.Config); err != nil {
+			return fmt.Errorf("gate %s: %w", g.Series(), err)
+		}
+		if g.Scenario != "" {
+			if _, err := fault.Lookup(g.Scenario); err != nil {
+				return fmt.Errorf("gate %s: %w", g.Series(), err)
+			}
+		}
+		if g.Rate <= 0 {
+			return fmt.Errorf("gate %s: an open gate needs a positive rate (requests per 1000 cycles)", g.Series())
 		}
 	}
 	for _, a := range g.Apps {
@@ -145,10 +182,15 @@ func (g *Gate) Validate() error {
 func (g *Gate) Series() string {
 	// Sharded variants are differently-shaped measurements, so the
 	// count joins the name; serial gates keep their pre-shard names, so
-	// existing baselines stay attached.
+	// existing baselines stay attached. The parallel executor likewise
+	// tags the name — deterministic metrics would share a baseline by
+	// construction, but wall-clock ones must not.
 	shard := ""
 	if g.Shards > 1 {
 		shard = fmt.Sprintf(",k%d", g.Shards)
+		if g.ShardExec == sim.ExecParallel {
+			shard += ",par"
+		}
 	}
 	switch g.Kind {
 	case "kernel":
@@ -159,6 +201,12 @@ func (g *Gate) Series() string {
 			apps = strings.Join(g.Apps, "+")
 		}
 		return fmt.Sprintf("gate:table3[%s,%s%s]:%s", g.Size, apps, shard, g.Metric)
+	case "open":
+		scen := g.Scenario
+		if scen == "" {
+			scen = "none"
+		}
+		return fmt.Sprintf("gate:open[%s%s]:%s:%s:r%g:%s", g.Size, shard, g.Config, scen, g.Rate, g.Metric)
 	default:
 		return fmt.Sprintf("gate:cell[%s%s]:%s:%s:g%d:%s", g.Size, shard, g.Config, g.App, g.Grain, g.Metric)
 	}
@@ -271,6 +319,28 @@ func setGateKey(g *Gate, key, raw string) error {
 			return err
 		}
 		g.App = v
+	case "scenario":
+		v, err := str()
+		if err != nil {
+			return err
+		}
+		g.Scenario = v
+	case "rate":
+		v, err := strconv.ParseFloat(stripComment(raw), 64)
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		g.Rate = v
+	case "shard_exec":
+		v, err := str()
+		if err != nil {
+			return err
+		}
+		mode, err := sim.ParseExecMode(v)
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		g.ShardExec = mode
 	case "metric":
 		v, err := str()
 		if err != nil {
@@ -492,7 +562,7 @@ func measureGate(g *Gate, hook func(string, string), progress io.Writer) (float6
 		if len(names) == 0 {
 			names = AppNames()
 		}
-		b, err := benchSuite(g.Size, names, g.Shards, hook, progress)
+		b, err := benchSuite(g.Size, names, g.Shards, g.ShardExec, hook, progress)
 		if err != nil {
 			return 0, err
 		}
@@ -508,8 +578,36 @@ func measureGate(g *Gate, hook func(string, string), progress io.Writer) (float6
 		default:
 			return b.AllocsPerEvent, nil
 		}
+	case "open":
+		// One stock DefaultOpenSweep cell: the same workload, arrival
+		// process, request count, and seeds `paperbench open` renders, so
+		// the gated latency is a number the experiment tables already
+		// carry. A fresh suite per sample keeps iterations honest (the
+		// open-cell cache would otherwise return the first measurement).
+		sw := DefaultOpenSweep(g.Size)
+		s := NewSuite(g.Size)
+		s.SimHook = hook
+		s.Progress = progress
+		s.Shards = g.Shards
+		s.ShardExec = g.ShardExec
+		t0 := time.Now()
+		r, err := s.OpenRun(g.Config, g.Scenario, sw.FaultSeed, sw.spec(g.Rate))
+		if err != nil {
+			return 0, err
+		}
+		wall := time.Since(t0).Seconds()
+		switch g.Metric {
+		case "latency_p99":
+			return float64(r.Latency.P99()), nil
+		case "latency_p50":
+			return float64(r.Latency.P50()), nil
+		case "sim_cycles":
+			return float64(r.Cycles), nil
+		default:
+			return wall, nil
+		}
 	default: // cell
-		c, err := benchCell(g.Size, g.Grain, g.Shards, g.Config, g.App, hook, progress)
+		c, err := benchCell(g.Size, g.Grain, g.Shards, g.ShardExec, g.Config, g.App, hook, progress)
 		if err != nil {
 			return 0, err
 		}

@@ -38,7 +38,12 @@ type KernelBench struct {
 // serial or shard-decomposed event kernel. SimCycles is identical at
 // any shard count — only the host-side numbers may move.
 type SuiteBench struct {
-	Shards          int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// ShardExec records the shard executor the pass ran ("parallel" for
+	// the epoch-parallel worker pool; empty for merged/serial). On a
+	// single-core host the parallel numbers measure executor overhead,
+	// not speedup — the point of carrying them is exactly that honesty.
+	ShardExec       string  `json:"shard_exec,omitempty"`
 	WallSec         float64 `json:"wall_sec"`
 	SimCycles       uint64  `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
@@ -54,6 +59,14 @@ type SuiteBench struct {
 	ShardViolations  uint64  `json:"shard_violations,omitempty"`
 	AvgConcurrency   float64 `json:"avg_shard_concurrency,omitempty"`
 	WallVsSerial     float64 `json:"wall_speedup_vs_serial,omitempty"`
+	// Parallel-executor accounting (ShardExec == "parallel" only): token
+	// handoffs into the worker pool, callbacks run inline on the worker
+	// already holding the token, cross-shard posts deferred through
+	// outboxes, and epoch-barrier flushes.
+	ExecHandoffs uint64 `json:"exec_handoffs,omitempty"`
+	ExecInline   uint64 `json:"exec_inline,omitempty"`
+	ExecOutboxed uint64 `json:"exec_outboxed,omitempty"`
+	ExecFlushes  uint64 `json:"exec_flushes,omitempty"`
 }
 
 // HostBenchReport is one measurement of the current binary.
@@ -127,17 +140,18 @@ func benchKernel(n int) KernelBench {
 // benchSuite runs the table3 simulation worklist strictly serially
 // (the `paperbench -j 1 table3` workload) on a fresh suite, with the
 // event kernel split into shards conservative-lookahead shards (<= 1
-// serial), and measures host throughput. Simulated results are the
-// usual bit-identical ones at any shard count; only wall time and
-// allocation counts vary by host. hook is the suite's SimHook (test
-// injection; nil outside the gate tests), and a fresh suite per call
-// means repeated iterations re-simulate instead of reading a warm
-// cache.
-func benchSuite(size apps.Size, names []string, shards int, hook func(cfgName, appName string), progress io.Writer) (SuiteBench, error) {
+// serial) under the given shard executor, and measures host
+// throughput. Simulated results are the usual bit-identical ones at
+// any shard count and either executor; only wall time and allocation
+// counts vary by host. hook is the suite's SimHook (test injection;
+// nil outside the gate tests), and a fresh suite per call means
+// repeated iterations re-simulate instead of reading a warm cache.
+func benchSuite(size apps.Size, names []string, shards int, exec sim.ExecMode, hook func(cfgName, appName string), progress io.Writer) (SuiteBench, error) {
 	s := NewSuite(size)
 	s.Progress = progress
 	s.SimHook = hook
 	s.Shards = shards
+	s.ShardExec = exec
 	work := s.Table3Work(names)
 
 	var m0, m1 runtime.MemStats
@@ -180,6 +194,14 @@ func benchSuite(size apps.Size, names []string, shards int, hook func(cfgName, a
 		b.CrossShardPosts = o.CrossPosts
 		b.ShardViolations = o.Violations
 		b.AvgConcurrency = o.AvgConcurrency()
+		if exec == sim.ExecParallel {
+			eo := s.ExecObs()
+			b.ShardExec = exec.String()
+			b.ExecHandoffs = eo.Handoffs
+			b.ExecInline = eo.Inline
+			b.ExecOutboxed = eo.Outboxed
+			b.ExecFlushes = eo.Flushes
+		}
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		b.SimCyclesPerSec = float64(simCycles) / secs
@@ -203,12 +225,13 @@ type cellSample struct {
 // re-simulate — the gate's variance estimate would be meaningless over
 // cache hits. Simulated cycles are deterministic; only the wall time
 // varies by host.
-func benchCell(size apps.Size, grain, shards int, cfg, app string, hook func(cfgName, appName string), progress io.Writer) (cellSample, error) {
+func benchCell(size apps.Size, grain, shards int, exec sim.ExecMode, cfg, app string, hook func(cfgName, appName string), progress io.Writer) (cellSample, error) {
 	s := NewSuite(size)
 	s.Grain = grain
 	s.Progress = progress
 	s.SimHook = hook
 	s.Shards = shards
+	s.ShardExec = exec
 	t0 := time.Now()
 	r, err := s.Run(cfg, app)
 	if err != nil {
@@ -338,33 +361,39 @@ func HostBench(w io.Writer, size apps.Size, names []string, shardSweep []int, ou
 	}
 	rep.Kernel = benchKernel(2_000_000)
 	var err error
-	rep.Table3Serial, err = benchSuite(size, names, 1, nil, progress)
+	rep.Table3Serial, err = benchSuite(size, names, 1, sim.ExecMerged, nil, progress)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
-	for _, k := range shardSweep {
-		if k <= 1 {
-			continue
+	// Sweep each shard count through both executors: the merged
+	// single-token loop, then the epoch-parallel worker pool. On a
+	// single-core host the parallel column measures pure executor
+	// overhead — the honest number the trajectory exists to carry.
+	for _, exec := range []sim.ExecMode{sim.ExecMerged, sim.ExecParallel} {
+		for _, k := range shardSweep {
+			if k <= 1 {
+				continue
+			}
+			b, err := benchSuite(size, names, k, exec, nil, progress)
+			if err != nil {
+				return fmt.Errorf("bench: shards=%d exec=%v: %w", k, exec, err)
+			}
+			// The decomposition promise, enforced at measurement time: a
+			// sharded pass that drifts from the serial simulation (or posts
+			// an event inside the lookahead window) is a simulator bug, not
+			// a perf data point.
+			if b.SimCycles != rep.Table3Serial.SimCycles {
+				return fmt.Errorf("bench: shards=%d exec=%v simulated %d cycles, serial %d — sharding changed the simulation",
+					k, exec, b.SimCycles, rep.Table3Serial.SimCycles)
+			}
+			if b.ShardViolations != 0 {
+				return fmt.Errorf("bench: shards=%d exec=%v: %d lookahead violations", k, exec, b.ShardViolations)
+			}
+			if b.WallSec > 0 {
+				b.WallVsSerial = rep.Table3Serial.WallSec / b.WallSec
+			}
+			rep.Table3Sharded = append(rep.Table3Sharded, b)
 		}
-		b, err := benchSuite(size, names, k, nil, progress)
-		if err != nil {
-			return fmt.Errorf("bench: shards=%d: %w", k, err)
-		}
-		// The decomposition promise, enforced at measurement time: a
-		// sharded pass that drifts from the serial simulation (or posts
-		// an event inside the lookahead window) is a simulator bug, not
-		// a perf data point.
-		if b.SimCycles != rep.Table3Serial.SimCycles {
-			return fmt.Errorf("bench: shards=%d simulated %d cycles, serial %d — sharding changed the simulation",
-				k, b.SimCycles, rep.Table3Serial.SimCycles)
-		}
-		if b.ShardViolations != 0 {
-			return fmt.Errorf("bench: shards=%d: %d lookahead violations", k, b.ShardViolations)
-		}
-		if b.WallSec > 0 {
-			b.WallVsSerial = rep.Table3Serial.WallSec / b.WallSec
-		}
-		rep.Table3Sharded = append(rep.Table3Sharded, b)
 	}
 
 	file, err := mergeBenchFile(outPath, rep)
@@ -391,8 +420,12 @@ func HostBench(w io.Writer, size apps.Size, names []string, shardSweep []int, ou
 		rep.Table3Serial.SimCyclesPerSec/1e6, rep.Table3Serial.EventsPerSec/1e6,
 		rep.Table3Serial.AllocsPerEvent)
 	for _, b := range rep.Table3Sharded {
-		fmt.Fprintf(w, "table3 (shards=%d): %.1fs wall (%.2fx vs serial), %.2fM sim-cycles/s, avg shard concurrency %.2f\n",
-			b.Shards, b.WallSec, b.WallVsSerial, b.SimCyclesPerSec/1e6, b.AvgConcurrency)
+		tag := ""
+		if b.ShardExec != "" {
+			tag = ", exec=" + b.ShardExec
+		}
+		fmt.Fprintf(w, "table3 (shards=%d%s): %.1fs wall (%.2fx vs serial), %.2fM sim-cycles/s, avg shard concurrency %.2f\n",
+			b.Shards, tag, b.WallSec, b.WallVsSerial, b.SimCyclesPerSec/1e6, b.AvgConcurrency)
 	}
 	if file.Before != nil {
 		fmt.Fprintf(w, "vs baseline: %.2fx table3 wall, %.1fx fewer kernel allocs/event\n",

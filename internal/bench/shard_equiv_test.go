@@ -8,17 +8,20 @@ import (
 	"testing"
 
 	"bigtiny/internal/apps"
+	"bigtiny/internal/sim"
 	"bigtiny/internal/stats"
 )
 
 // runShardCount performs one complete simulation through the suite with
 // the event kernel split into the given shard count (1 = serial) and
-// returns the full metric snapshot plus the canonical JSON export. The
-// shard-decomposition invariants are asserted on the way out: zero
-// lookahead violations, and non-trivial cross-shard traffic whenever
-// the run was actually sharded on a multi-core machine.
+// the given shard executor (workers sizes the parallel pool; 0 means
+// one per shard) and returns the full metric snapshot plus the
+// canonical JSON export. The shard-decomposition invariants are
+// asserted on the way out: zero lookahead violations, and — on a
+// parallel-executor run that actually crossed shards — non-trivial
+// outbox traffic, proving the epoch-barrier path really ran.
 func runShardCount(t *testing.T, cfgName, appName string, size apps.Size, grain int,
-	scenario string, faultSeed uint64, shards int) (*stats.Run, []byte) {
+	scenario string, faultSeed uint64, shards int, exec sim.ExecMode, workers int) (*stats.Run, []byte) {
 	t.Helper()
 	s := NewSuite(size)
 	s.Grain = grain
@@ -26,17 +29,27 @@ func runShardCount(t *testing.T, cfgName, appName string, size apps.Size, grain 
 	s.FaultSeed = faultSeed
 	s.Oracle = true
 	s.Shards = shards
+	s.ShardExec = exec
+	s.ExecWorkers = workers
 	r, err := s.Run(cfgName, appName)
 	if err != nil {
-		t.Fatalf("%s on %s (shards=%d): %v", appName, cfgName, shards, err)
+		t.Fatalf("%s on %s (shards=%d exec=%v): %v", appName, cfgName, shards, exec, err)
 	}
 	js, err := s.ResultJSON(context.Background(), cfgName, appName)
 	if err != nil {
-		t.Fatalf("%s on %s (shards=%d): export: %v", appName, cfgName, shards, err)
+		t.Fatalf("%s on %s (shards=%d exec=%v): export: %v", appName, cfgName, shards, exec, err)
 	}
-	if o := s.ShardObs(); o.Violations != 0 {
-		t.Fatalf("%s on %s (shards=%d): %d lookahead violations (the partition promised none)",
-			appName, cfgName, shards, o.Violations)
+	o := s.ShardObs()
+	if o.Violations != 0 {
+		t.Fatalf("%s on %s (shards=%d exec=%v): %d lookahead violations (the partition promised none)",
+			appName, cfgName, shards, exec, o.Violations)
+	}
+	if exec == sim.ExecParallel && shards > 1 {
+		eo := s.ExecObs()
+		if o.CrossPosts > 0 && eo.Outboxed == 0 {
+			t.Fatalf("%s on %s (shards=%d): parallel executor saw %d cross posts but outboxed none",
+				appName, cfgName, shards, o.CrossPosts)
+		}
 	}
 	return r, js
 }
@@ -75,10 +88,18 @@ func TestShardedMatchesSerial(t *testing.T) {
 	for _, size := range []apps.Size{apps.Empty, apps.Unit} {
 		for _, appName := range AppNames() {
 			t.Run(size.String()+"/"+appName, func(t *testing.T) {
-				serial, serialJS := runShardCount(t, cfgName, appName, size, 0, "", 0, 1)
+				serial, serialJS := runShardCount(t, cfgName, appName, size, 0, "", 0, 1, sim.ExecMerged, 0)
 				for _, shards := range []int{2, 5, 64} {
-					sharded, shardedJS := runShardCount(t, cfgName, appName, size, 0, "", 0, shards)
+					sharded, shardedJS := runShardCount(t, cfgName, appName, size, 0, "", 0, shards, sim.ExecMerged, 0)
 					checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
+				}
+				// The epoch-parallel executor must be equally invisible,
+				// including with fewer workers than shards (the K=64 leg
+				// maps many shards per worker).
+				for _, tc := range []struct{ shards, workers int }{{2, 2}, {4, 2}, {64, 3}} {
+					sharded, shardedJS := runShardCount(t, cfgName, appName, size, 0, "", 0,
+						tc.shards, sim.ExecParallel, tc.workers)
+					checkShardedRun(t, serial, sharded, serialJS, shardedJS, tc.shards)
 				}
 			})
 		}
@@ -94,11 +115,15 @@ func TestShardedMatchesSerialTestSize(t *testing.T) {
 	}
 	for _, cfgName := range []string{"bT/HCC-DTS-gwb", "bT/MESI"} {
 		t.Run(cfgName, func(t *testing.T) {
-			serial, serialJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, 1)
+			serial, serialJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, 1, sim.ExecMerged, 0)
 			for _, shards := range []int{4, 8} {
-				sharded, shardedJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, shards)
+				sharded, shardedJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, shards, sim.ExecMerged, 0)
 				checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
 			}
+			// One dense Test-size leg through the parallel executor: the
+			// outboxes carry real ULI steal traffic here, not toy posts.
+			sharded, shardedJS := runShardCount(t, cfgName, "cilk5-cs", apps.Test, 0, "", 0, 4, sim.ExecParallel, 2)
+			checkShardedRun(t, serial, sharded, serialJS, shardedJS, 4)
 		})
 	}
 }
@@ -119,7 +144,7 @@ func TestShardedDifferentialStress(t *testing.T) {
 	scenarios := append([]string{""}, ChaosScenarios...)
 	sizes := []apps.Size{apps.Empty, apps.Unit, apps.Test}
 	grains := []int{0, 1, 4}
-	shardCounts := []int{2, 3, 4, 8}
+	shardCounts := []int{2, 3, 4, 8, 64}
 
 	const trials = 10
 	for i := 0; i < trials; i++ {
@@ -132,10 +157,16 @@ func TestShardedDifferentialStress(t *testing.T) {
 			faultSeed = uint64(rng.Intn(5) + 1)
 		}
 		shards := shardCounts[rng.Intn(len(shardCounts))]
+		workers := rng.Intn(shards) + 1
 		t.Run(appName+"/"+size.String(), func(t *testing.T) {
-			serial, serialJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, 1)
-			sharded, shardedJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, shards)
+			serial, serialJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, 1, sim.ExecMerged, 0)
+			sharded, shardedJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, shards, sim.ExecMerged, 0)
 			checkShardedRun(t, serial, sharded, serialJS, shardedJS, shards)
+			// Same trial tuple through the epoch-parallel executor with a
+			// randomized pool size: every fault scenario that reaches this
+			// harness must be byte-identical on the parallel path too.
+			par, parJS := runShardCount(t, cfgName, appName, size, grain, scenario, faultSeed, shards, sim.ExecParallel, workers)
+			checkShardedRun(t, serial, par, serialJS, parJS, shards)
 		})
 	}
 }

@@ -74,9 +74,16 @@ func trajectoryBenches(rep *HostBenchReport) []TrajectoryBench {
 		{Name: "table3 allocs/event", Value: rep.Table3Serial.AllocsPerEvent, Unit: "allocs/event"},
 	}
 	for _, b := range rep.Table3Sharded {
+		// The parallel-executor passes carry their own series — on a
+		// single-core host these track executor overhead, and must never
+		// share a baseline with the merged-executor wall numbers.
+		tag := ""
+		if b.ShardExec != "" {
+			tag = " " + b.ShardExec
+		}
 		benches = append(benches,
-			TrajectoryBench{Name: fmt.Sprintf("table3 k%d wall", b.Shards), Value: b.WallSec, Unit: "s"},
-			TrajectoryBench{Name: fmt.Sprintf("table3 k%d sim-cycles/sec", b.Shards), Value: b.SimCyclesPerSec, Unit: "cycles/s"})
+			TrajectoryBench{Name: fmt.Sprintf("table3 k%d%s wall", b.Shards, tag), Value: b.WallSec, Unit: "s"},
+			TrajectoryBench{Name: fmt.Sprintf("table3 k%d%s sim-cycles/sec", b.Shards, tag), Value: b.SimCyclesPerSec, Unit: "cycles/s"})
 	}
 	return benches
 }

@@ -102,6 +102,12 @@ type Options struct {
 	// Shards splits the event kernel into conservative-lookahead shards
 	// (machine.Config.Shards); results are byte-identical at any value.
 	Shards int
+	// ShardExec selects the sharded kernel's executor
+	// (machine.Config.ShardExec); byte-identical in either mode.
+	ShardExec sim.ExecMode
+	// ExecWorkers bounds the parallel executor's worker pool
+	// (machine.Config.ExecWorkers); <= 0 means one worker per shard.
+	ExecWorkers int
 }
 
 // Result is the outcome of one open-system run.
@@ -181,6 +187,8 @@ func Run(ctx context.Context, cfgName string, sp Spec, opt Options) (*Result, er
 	}
 	cfg.Oracle = opt.Oracle
 	cfg.Shards = opt.Shards
+	cfg.ShardExec = opt.ShardExec
+	cfg.ExecWorkers = opt.ExecWorkers
 
 	m := machine.New(cfg)
 	if done := ctx.Done(); done != nil {

@@ -1,0 +1,137 @@
+// Async offload: apply oracle observations on a drain goroutine.
+//
+// The oracle is the one side channel of a simulation that is genuinely
+// order-dependent (version histories grow in observed append order) yet
+// feeds nothing back into simulated time — the checker's verdict is
+// read only after the kernel finishes. That makes it the perfect
+// candidate for overlap under the epoch-parallel executor: the token
+// holder records each observation into a fixed-size batch and hands
+// full batches to a single drain goroutine, which applies them to the
+// wrapped Checker in exactly the order they were produced. Ops counts,
+// violation details, and Err() text are therefore bit-identical to
+// synchronous checking by construction; the only thing that moves is
+// which host goroutine pays for the map lookups and history appends.
+package oracle
+
+import "sync"
+
+// rec is one recorded observation. op discriminates: load and store use
+// old as the value; amo uses all fields.
+type rec struct {
+	op    uint8
+	wrote bool
+	core  int32
+	addr  uint64
+	old   uint64
+	new   uint64
+}
+
+const (
+	recLoad = uint8(iota)
+	recStore
+	recAmo
+)
+
+// batchSize trades channel traffic against drain latency; at 1024 the
+// per-observation cost is a slice append plus 1/1024th of a channel
+// send.
+const batchSize = 1024
+
+// Async wraps a Checker, buffering observations on the producer side
+// and applying them on a single drain goroutine. The producer side
+// (OnLoad/OnStore/OnAmo) must be called from one goroutine at a time —
+// the kernel's control token already guarantees that — and Close must
+// be called before reading the wrapped Checker's verdict.
+type Async struct {
+	c *Checker
+	// cur is the batch being filled by the producer.
+	cur []rec
+	// ch carries full batches to the drain goroutine; free recycles
+	// their backing arrays, bounding steady-state allocation to the
+	// channel capacity.
+	ch   chan []rec
+	free chan []rec
+	done chan struct{}
+	once sync.Once
+}
+
+// NewAsync wraps c for asynchronous checking and starts the drain
+// goroutine.
+func NewAsync(c *Checker) *Async {
+	a := &Async{
+		c:    c,
+		cur:  make([]rec, 0, batchSize),
+		ch:   make(chan []rec, 8),
+		free: make(chan []rec, 8),
+		done: make(chan struct{}),
+	}
+	go a.drain()
+	return a
+}
+
+func (a *Async) drain() {
+	defer close(a.done)
+	for batch := range a.ch {
+		for i := range batch {
+			r := &batch[i]
+			switch r.op {
+			case recLoad:
+				a.c.OnLoad(int(r.core), r.addr, r.old)
+			case recStore:
+				a.c.OnStore(int(r.core), r.addr, r.old)
+			default:
+				a.c.OnAmo(int(r.core), r.addr, r.old, r.new, r.wrote)
+			}
+		}
+		select {
+		case a.free <- batch[:0]:
+		default:
+		}
+	}
+}
+
+// push appends one record, shipping the batch when full.
+func (a *Async) push(r rec) {
+	a.cur = append(a.cur, r)
+	if len(a.cur) == batchSize {
+		a.flush()
+	}
+}
+
+func (a *Async) flush() {
+	if len(a.cur) == 0 {
+		return
+	}
+	a.ch <- a.cur
+	select {
+	case a.cur = <-a.free:
+	default:
+		a.cur = make([]rec, 0, batchSize)
+	}
+}
+
+// OnLoad implements cache.Oracle.
+func (a *Async) OnLoad(core int, addr uint64, v uint64) {
+	a.push(rec{op: recLoad, core: int32(core), addr: addr, old: v})
+}
+
+// OnStore implements cache.Oracle.
+func (a *Async) OnStore(core int, addr uint64, v uint64) {
+	a.push(rec{op: recStore, core: int32(core), addr: addr, old: v})
+}
+
+// OnAmo implements cache.Oracle.
+func (a *Async) OnAmo(core int, addr uint64, old, newVal uint64, wrote bool) {
+	a.push(rec{op: recAmo, core: int32(core), addr: addr, old: old, new: newVal, wrote: wrote})
+}
+
+// Close flushes the tail batch, joins the drain goroutine, and leaves
+// the wrapped Checker holding the complete, exactly-ordered history.
+// Idempotent; no observation may be produced after it.
+func (a *Async) Close() {
+	a.once.Do(func() {
+		a.flush()
+		close(a.ch)
+		<-a.done
+	})
+}

@@ -1,0 +1,113 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// driveOracle replays a deterministic op stream — including planted
+// violations of both detailed kinds — through any cache.Oracle-shaped
+// sink. The stream is long enough to force several batch flushes
+// through the async path (batchSize records per flush).
+func driveOracle(load func(int, uint64, uint64), store func(int, uint64, uint64),
+	amo func(int, uint64, uint64, uint64, bool)) {
+	// Legal traffic: two cores producing and consuming a few locations.
+	for i := 0; i < 3*batchSize; i++ {
+		a := uint64(8 * (i % 7))
+		store(0, a, uint64(i))
+		load(0, a, uint64(i))
+		if i%3 == 0 {
+			load(1, a, uint64(i)) // fresh read: always legal
+		}
+	}
+	// Planted load violation: core 1 already observed a real version at
+	// 0x1000, then "reads" a value that never existed there.
+	store(0, 0x1000, 42)
+	load(1, 0x1000, 42)
+	load(1, 0x1000, 99)
+	// Planted AMO violation: stale old value against a committed write.
+	store(0, 0x2000, 7)
+	amo(1, 0x2000, 5, 6, true)
+	// Tail ops after the violations, landing in a final partial batch.
+	for i := 0; i < batchSize/2; i++ {
+		store(1, 0x3000, uint64(i))
+	}
+}
+
+// TestAsyncMatchesSync is the equivalence gate for the async offload:
+// the drain goroutine must leave the wrapped Checker with bit-identical
+// state — op count, violation count, and the full Err() text with every
+// detailed violation — to a Checker fed the same stream synchronously.
+func TestAsyncMatchesSync(t *testing.T) {
+	sync := New(2)
+	driveOracle(sync.OnLoad, sync.OnStore, sync.OnAmo)
+
+	inner := New(2)
+	async := NewAsync(inner)
+	driveOracle(async.OnLoad, async.OnStore, async.OnAmo)
+	async.Close()
+	async.Close() // idempotent: a machine closes once deferred, once explicitly
+
+	if inner.Ops != sync.Ops {
+		t.Fatalf("Ops: async %d, sync %d", inner.Ops, sync.Ops)
+	}
+	if inner.Violations() != sync.Violations() || inner.Violations() != 2 {
+		t.Fatalf("Violations: async %d, sync %d, want 2", inner.Violations(), sync.Violations())
+	}
+	se, ae := sync.Err(), inner.Err()
+	if se == nil || ae == nil || se.Error() != ae.Error() {
+		t.Fatalf("Err text diverged:\nsync:  %v\nasync: %v", se, ae)
+	}
+	if !reflect.DeepEqual(inner.violations, sync.violations) {
+		t.Fatalf("detailed violations diverged:\nsync:  %+v\nasync: %+v",
+			sync.violations, inner.violations)
+	}
+}
+
+// TestAsyncCleanStream: a violation-free stream stays violation-free
+// through the async path, and Close is safe on an empty tail batch.
+func TestAsyncCleanStream(t *testing.T) {
+	inner := New(1)
+	async := NewAsync(inner)
+	for i := 0; i < batchSize; i++ { // exactly one full batch, empty tail
+		async.OnStore(0, 0x40, uint64(i))
+		async.OnLoad(0, 0x40, uint64(i))
+	}
+	async.Close()
+	if err := inner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Ops != 2*batchSize {
+		t.Fatalf("Ops = %d, want %d", inner.Ops, 2*batchSize)
+	}
+}
+
+// TestAsyncViolationDetailOrder: with more violations than maxDetailed,
+// the detailed prefix and the "and N more" tail survive the offload —
+// ordering through the batch boundary is exact, not approximate.
+func TestAsyncViolationDetailOrder(t *testing.T) {
+	mk := func() (*Checker, func(int, uint64, uint64), func(int, uint64, uint64)) {
+		c := New(1)
+		return c, c.OnLoad, c.OnStore
+	}
+	sc, sload, sstore := mk()
+	ic := New(1)
+	async := NewAsync(ic)
+	aload, astore := async.OnLoad, async.OnStore
+
+	for _, f := range []struct {
+		load  func(int, uint64, uint64)
+		store func(int, uint64, uint64)
+	}{{sload, sstore}, {aload, astore}} {
+		for i := 0; i < maxDetailed+3; i++ {
+			a := uint64(0x100 * (i + 1))
+			f.store(0, a, 1)
+			f.load(0, a, uint64(1000+i)) // impossible value, unique per site
+		}
+	}
+	async.Close()
+	if fmt.Sprint(sc.Err()) != fmt.Sprint(ic.Err()) {
+		t.Fatalf("overflowed violation report diverged:\nsync:  %v\nasync: %v", sc.Err(), ic.Err())
+	}
+}

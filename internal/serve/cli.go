@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bigtiny/internal/machine"
+	"bigtiny/internal/sim"
 )
 
 // Main is the simulation daemon's CLI entry point, shared by `simd` and
@@ -27,6 +28,8 @@ func Main(prog string, args []string) int {
 	workers := fs.Int("workers", 0, "simulation worker pool size (0 = all host cores)")
 	shards := fs.Int("shards", 1,
 		"conservative-lookahead kernel shards per job, byte-identical at any count (1 = serial; workers shrink to fit the host budget)")
+	shardExec := fs.String("shard-exec", "merged",
+		"sharded-kernel executor per job: merged, or parallel (epoch-parallel host worker pool; byte-identical results)")
 	queueDepth := fs.Int("queue", 64, "admission queue depth; beyond it jobs get 429 + Retry-After")
 	deadline := fs.Uint64("deadline", 0, "default per-job simulated-cycle deadline (0 = each config's watchdog default)")
 	wall := fs.Duration("wall-timeout", 0, "per-job wall-clock budget, e.g. 30s (0 = none)")
@@ -55,10 +58,16 @@ func Main(prog string, args []string) int {
 		logf("-shards %d exceeds the %d-shard kernel limit", *shards, machine.MaxShards)
 		return 2
 	}
+	execMode, err := sim.ParseExecMode(*shardExec)
+	if err != nil {
+		logf("-shard-exec: %v", err)
+		return 2
+	}
 
 	cfg := Config{
 		Workers:         *workers,
 		Shards:          *shards,
+		ShardExec:       execMode,
 		QueueDepth:      *queueDepth,
 		StoreDir:        *storeDir,
 		DeadlineCycles:  *deadline,

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParseExecMode pins the flag grammar both CLIs share.
+func TestParseExecMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ExecMode
+		ok   bool
+	}{
+		{"", ExecMerged, true},
+		{"merged", ExecMerged, true},
+		{"parallel", ExecParallel, true},
+		{"Parallel", ExecMerged, false},
+		{"serial", ExecMerged, false},
+	} {
+		got, err := ParseExecMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseExecMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if ExecMerged.String() != "merged" || ExecParallel.String() != "parallel" {
+		t.Errorf("ExecMode.String: %q/%q", ExecMerged, ExecParallel)
+	}
+}
+
+// TestSetShardExecValidation: the executor is locked down like the
+// partition itself — it needs a sharded kernel, refuses to be chosen
+// twice, and clamps the pool to [1, shards].
+func TestSetShardExecValidation(t *testing.T) {
+	expectPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			if !strings.Contains(fmt.Sprint(r), want) {
+				t.Errorf("%s: panic %q, want substring %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	expectPanic("unsharded", "unsharded", func() {
+		NewKernel().SetShardExec(ExecParallel, 2)
+	})
+	expectPanic("twice", "called twice", func() {
+		k := NewKernel()
+		k.Shard(4, 2)
+		k.SetShardExec(ExecParallel, 2)
+		k.SetShardExec(ExecParallel, 2)
+	})
+
+	// Merged mode is a no-op: no executor state, stats stay nil.
+	k := NewKernel()
+	k.Shard(4, 2)
+	k.SetShardExec(ExecMerged, 8)
+	if k.ShardExecMode() != ExecMerged || k.ExecStats() != nil {
+		t.Fatal("ExecMerged left executor state behind")
+	}
+
+	// Pool size clamps to [1, shards].
+	for _, tc := range []struct{ workers, want int }{{-3, 1}, {0, 1}, {2, 2}, {99, 4}} {
+		k := NewKernel()
+		k.Shard(4, 2)
+		k.SetShardExec(ExecParallel, tc.workers)
+		if st := k.ExecStats(); st == nil || st.Workers != tc.want {
+			t.Errorf("workers=%d: pool %+v, want %d workers", tc.workers, st, tc.want)
+		}
+	}
+
+	// Serial kernels report merged and nil stats.
+	if k := NewKernel(); k.ShardExecMode() != ExecMerged || k.ExecStats() != nil {
+		t.Fatal("serial kernel leaked executor state")
+	}
+}
+
+// TestParallelExecSameTimeOrder: the same-instant cross-shard ordering
+// guarantee survives the parallel executor — seq order, exactly as one
+// serial heap would pop.
+func TestParallelExecSameTimeOrder(t *testing.T) {
+	k := NewKernel()
+	k.Shard(4, 2)
+	k.SetShardExec(ExecParallel, 2)
+	var order []int
+	for i, shard := range []int{3, 0, 2, 1, 2, 0} {
+		i := i
+		k.AtOn(shard, 10, func() { order = append(order, i) })
+	}
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("fire order %v, want %v", order, want)
+	}
+}
+
+// pingPongKernel builds a 2-shard kernel whose procs ping events at each
+// other's shard for a while: guaranteed handoffs, outboxed posts, and
+// epoch-barrier flushes under the parallel executor.
+func pingPongKernel(workers int) *Kernel {
+	k := NewKernel()
+	k.Shard(2, 10)
+	k.SetShardExec(ExecParallel, workers)
+	k.NewProcOn(0, "a", 0, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Kernel().AtOn(1, p.Now()+10, func() {})
+			p.Delay(10)
+		}
+	})
+	k.NewProcOn(1, "b", 0, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Kernel().AtOn(0, p.Now()+10, func() {})
+			p.Delay(10)
+		}
+	})
+	return k
+}
+
+// TestParallelExecAccounting: the executor's host-side counters see the
+// traffic the workload guarantees, and the watchdog dump includes the
+// executor line.
+func TestParallelExecAccounting(t *testing.T) {
+	k := pingPongKernel(2)
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	st := k.ExecStats()
+	if st == nil || st.Workers != 2 {
+		t.Fatalf("ExecStats = %+v, want a 2-worker pool", st)
+	}
+	if st.Outboxed == 0 || st.Flushes == 0 {
+		t.Fatalf("cross-shard ping-pong produced no outbox traffic: %+v", st)
+	}
+	if st.Outboxed < st.Flushes {
+		t.Fatalf("more flushes than outboxed posts: %+v", st)
+	}
+	if st.Handoffs == 0 {
+		t.Fatalf("two shards on two workers produced no token handoffs: %+v", st)
+	}
+	if o := k.ShardStats(); o.Violations != 0 {
+		t.Fatalf("lookahead violations: %d", o.Violations)
+	}
+
+	var b strings.Builder
+	k.DumpState(&b)
+	if !strings.Contains(b.String(), "exec: parallel, 2 workers") {
+		t.Fatalf("DumpState missing executor report:\n%s", b.String())
+	}
+}
+
+// TestParallelExecRestart: the pool shuts down clean at the end of one
+// Run and comes back for the next — sequential Runs on one kernel are
+// part of the kernel contract (serving layers reuse kernels for probes).
+func TestParallelExecRestart(t *testing.T) {
+	k := NewKernel()
+	k.Shard(2, 2)
+	k.SetShardExec(ExecParallel, 2)
+	fired := 0
+	k.AtOn(1, 5, func() { fired++ })
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	k.AtOn(0, k.Now()+5, func() { fired++ })
+	if err := k.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 || k.Now() != 10 {
+		t.Fatalf("fired=%d now=%d after two Runs, want 2/10", fired, k.Now())
+	}
+}
+
+// TestParallelExecPanicPropagates: a callback panic on a pool worker
+// must resurface out of Run on the caller's goroutine, exactly like
+// merged execution — and the pool must still join cleanly after it.
+func TestParallelExecPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Shard(4, 2)
+	k.SetShardExec(ExecParallel, 4)
+	k.AtOn(3, 5, func() { panic("boom on a worker") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate out of Run")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom on a worker") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	k.Run(nil)
+}
+
+// TestParallelExecInterrupt: an asynchronous Interrupt lands as the
+// usual watchdog error, and the dump inside it carries the executor
+// report (the workers are parked by then, so the dump is race-free).
+func TestParallelExecInterrupt(t *testing.T) {
+	k := pingPongKernel(2)
+	k.Interrupt("test abort")
+	err := k.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "interrupted: test abort") {
+		t.Fatalf("err = %v, want interrupt watchdog error", err)
+	}
+	if !strings.Contains(err.Error(), "exec: parallel") {
+		t.Fatalf("watchdog dump missing executor report:\n%v", err)
+	}
+}
+
+// TestShardStatsMidRunSnapshot is the mid-run safety gate: ShardStats
+// and ExecStats are documented snapshot-safe from any goroutine while
+// the parallel executor is running workers. Under -race this test is
+// the proof — a reader goroutine hammers both against a live run.
+func TestShardStatsMidRunSnapshot(t *testing.T) {
+	k := pingPongKernel(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var snaps uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := k.ShardStats()
+			if st == nil || st.Shards != 2 {
+				t.Error("mid-run ShardStats lost the plan")
+				return
+			}
+			_ = st.AvgConcurrency()
+			// The snapshot is per-counter atomic, not globally consistent
+			// (see the ShardStats doc), so no cross-counter arithmetic here
+			// — the -race run is the assertion.
+			for _, sc := range st.PerShard {
+				_ = sc.Scheduled + sc.Fired
+			}
+			if es := k.ExecStats(); es == nil || es.Workers != 2 {
+				t.Error("mid-run ExecStats lost the pool")
+				return
+			}
+			snaps++
+		}
+	}()
+	err := k.Run(nil)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.ShardStats()
+	if st.CrossPosts == 0 || st.Violations != 0 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}

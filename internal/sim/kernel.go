@@ -384,6 +384,10 @@ func (t *Timer) Stop() bool {
 		sq := &sh.queues[s.shard]
 		sq.tombstones++
 		t.k.compactQueue(&sq.q, &sq.tombstones)
+		// The stop (or the compaction it triggered) may have removed or
+		// replaced this shard's cached root; re-seat its leaf in the
+		// merge tree. An interior tombstone returns in O(1).
+		sh.refreshLeaf(t.k, s.shard)
 		return true
 	}
 	t.k.tombstones++
@@ -456,6 +460,9 @@ func (k *Kernel) QueueLen() int {
 		for i := range k.sh.queues {
 			n += len(k.sh.queues[i].q)
 		}
+		if ex := k.sh.exec; ex != nil {
+			n += ex.pending
+		}
 		return n
 	}
 	return len(k.queue)
@@ -480,7 +487,7 @@ func (k *Kernel) Tombstones() int {
 // here (from a Proc's wait) is equivalent to doing it in Run.
 func (k *Kernel) peekLive() (Time, bool) {
 	if k.sh != nil {
-		ref, ok := k.sh.peekMin(k)
+		ref, ok := k.sh.peekMin()
 		return ref.at, ok
 	}
 	for len(k.queue) > 0 {
@@ -513,10 +520,12 @@ const (
 
 // dispatch is the event loop, runnable from any goroutine that holds
 // the control token: the kernel goroutine inside Run (onKernel true),
-// a proc yielding in WaitUntil/Block (self = that proc), or a proc
-// whose body just returned (self nil, onKernel false). Exactly one
-// goroutine runs it at a time — the token is only ever passed through
-// a channel handoff — so it may touch all kernel state lock-free.
+// a proc yielding in WaitUntil/Block (self = that proc), a proc whose
+// body just returned (self nil, onKernel false), or a parallel-executor
+// worker that just fired a callback (onWorker = that worker). Exactly
+// one goroutine runs it at a time — the token is only ever passed
+// through a channel handoff — so it may touch all kernel state
+// lock-free.
 //
 // Running the dispatcher on whichever goroutine just yielded is the
 // point: handing control from proc A to proc B costs one channel
@@ -524,7 +533,7 @@ const (
 // resumes run inline with no switch at all, and a proc that pops its
 // own resume just keeps going. Event pop order is identical to a
 // kernel-centric loop, so cycle counts are unchanged.
-func (k *Kernel) dispatch(self *Proc, onKernel bool) dispatchOutcome {
+func (k *Kernel) dispatch(self *Proc, onKernel bool, onWorker *execWorker) dispatchOutcome {
 	for {
 		if k.err != nil || k.cbPanic != nil {
 			return k.parkDispatch(onKernel)
@@ -593,6 +602,21 @@ func (k *Kernel) dispatch(self *Proc, onKernel bool) dispatchOutcome {
 			p.cont <- struct{}{}
 			return dispatchHandoff
 		}
+		if k.sh != nil && k.sh.exec != nil {
+			// Parallel executor: a plain callback belongs to its shard's
+			// pool worker. The send carries the token with it; the worker
+			// fires the callback and keeps dispatching. A callback whose
+			// worker already holds the token runs inline — on a run of
+			// same-shard events (the loser tree's fast path) every event
+			// after the first costs zero handoffs.
+			ex := k.sh.exec
+			if w := ex.workerFor(ref.shard); w != onWorker {
+				ex.handoffs++
+				w.cont <- fn
+				return dispatchHandoff
+			}
+			ex.inline++
+		}
 		if !k.fire(fn) {
 			return k.parkDispatch(onKernel)
 		}
@@ -631,8 +655,20 @@ func (k *Kernel) parkDispatch(onKernel bool) dispatchOutcome {
 func (k *Kernel) Run(stop func() bool) error {
 	k.stop = stop
 	defer func() { k.stop = nil }()
+	if k.sh != nil {
+		// Publish the token-owned shard (and executor) counters on every
+		// exit path, so ShardStats/ExecStats are exact after Run.
+		defer k.sh.publish()
+	}
+	if k.sh != nil && k.sh.exec != nil {
+		// Parallel executor: the pool lives for the duration of this Run.
+		// stop runs while Run holds the token, when every worker is
+		// parked at its channel receive, so the close/join is race-free.
+		k.sh.exec.start()
+		defer k.sh.exec.stop()
+	}
 	for {
-		if k.dispatch(nil, true) == dispatchHandoff {
+		if k.dispatch(nil, true, nil) == dispatchHandoff {
 			// The token is circulating among proc goroutines; park until
 			// a dispatcher hits a run-level condition.
 			<-k.done

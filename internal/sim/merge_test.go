@@ -1,0 +1,202 @@
+package sim
+
+// Randomized workout for the winner-tree merge layer with a full
+// independent invariant oracle. The pop fast path trusts two cached
+// facts — the champion's key and the challenger bound — and a bound
+// that is ever too HIGH lets popMin return a non-minimal event, which
+// downstream looks like a wrong trace or a livelock, not a crash. The
+// PR 10 challenger fold had exactly such a hole (after a championship
+// change, the new champion's former subtree-mates were missing from
+// the fold), caught only at reference scale; this test exists so that
+// bug class dies in `go test ./internal/sim` instead.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkMerge validates every merge-layer invariant against the ground
+// truth in the shard heaps, independently of the incremental
+// maintenance under test:
+//
+//  1. live[s] exactly mirrors len(queues[s].q) > 0, and liveCount
+//     counts the live leaves.
+//  2. key[s] caches the live root (and is the refInf sentinel on dead
+//     and padding leaves), and the packed keyAt/keySeq columns mirror
+//     it exactly — the flat scan reads only the columns, so a missed
+//     mirror write is silently wrong dispatch order.
+//  3. tree mode only: every internal tree node holds the true winner
+//     of its match — or, when that winner is dead, any other dead
+//     leaf: popMin's all-dead early return ("the tree can wait for the
+//     next push") deliberately leaves stale nodes whose leaves all
+//     carry refInf, and those lose every future match identically.
+//     The flat mode abandons the internal nodes entirely.
+//  4. the champion is the global (time, seq) minimum by an O(K) scan.
+//  5. the challenger bound is never above any live rival of the
+//     champion (conservatively low is fine; high is the killer).
+func checkMerge(t *testing.T, ss *shardSet) {
+	t.Helper()
+	liveCount := 0
+	for s := range ss.queues {
+		q := ss.queues[s].q
+		if ss.live[s] != (len(q) > 0) {
+			t.Fatalf("shard %d: live=%v but %d queued", s, ss.live[s], len(q))
+		}
+		if len(q) > 0 {
+			liveCount++
+			if ss.key[s] != q[0] {
+				t.Fatalf("shard %d: cached key %+v != heap root %+v", s, ss.key[s], q[0])
+			}
+		} else if ss.key[s] != refInf {
+			t.Fatalf("dead shard %d: key %+v, want refInf", s, ss.key[s])
+		}
+	}
+	for s := len(ss.queues); s < int(ss.width); s++ {
+		if ss.live[s] || ss.key[s] != refInf {
+			t.Fatalf("padding leaf %d: live=%v key=%+v", s, ss.live[s], ss.key[s])
+		}
+	}
+	for s := int32(0); s < ss.width; s++ {
+		if ss.keyAt[s] != ss.key[s].at || ss.keySeq[s] != ss.key[s].seq {
+			t.Fatalf("leaf %d: packed columns (%d,%d) != key %+v",
+				s, ss.keyAt[s], ss.keySeq[s], ss.key[s])
+		}
+	}
+	if liveCount != ss.liveCount {
+		t.Fatalf("liveCount %d, want %d", ss.liveCount, liveCount)
+	}
+	if !ss.flat {
+		for i := ss.width - 1; i >= 1; i-- {
+			want := ss.winner(i)
+			if got := ss.tree[i]; got != want && !(ss.key[want] == refInf && ss.key[got] == refInf) {
+				t.Fatalf("tree[%d]=%d, want winner %d", i, got, want)
+			}
+		}
+	}
+	w := ss.tree[1]
+	for s := range ss.queues {
+		if !ss.live[s] {
+			continue
+		}
+		if refLess(ss.key[s], ss.key[w]) {
+			t.Fatalf("champion %d key %+v beaten by shard %d key %+v", w, ss.key[w], s, ss.key[s])
+		}
+		if int32(s) != w && refLess(ss.key[s], ss.chal) {
+			t.Fatalf("challenger %+v above rival shard %d key %+v (champion %d)",
+				ss.chal, s, ss.key[s], w)
+		}
+	}
+	// The champion-elect may be stale (popMin revalidates it), but it
+	// must never name the sitting champion: the O(1) switch would then
+	// "switch" to the shard whose root just rose.
+	if ss.flat && ss.second >= 0 && ss.second == w {
+		t.Fatalf("champion-elect %d is the sitting champion", ss.second)
+	}
+	// While valid, the third bound must never be above any live root
+	// outside {champion, second} (same too-high-is-the-killer argument
+	// as chal: a switch promotes it straight into chal), and must never
+	// be below chal (the ladder is ordered).
+	if ss.flat && ss.thirdOK {
+		if refLess(ss.third, ss.chal) {
+			t.Fatalf("third %+v below challenger %+v", ss.third, ss.chal)
+		}
+		for s := range ss.queues {
+			if !ss.live[s] || int32(s) == w || int32(s) == ss.second {
+				continue
+			}
+			if refLess(ss.key[s], ss.third) {
+				t.Fatalf("third %+v above root of shard %d key %+v (champion %d, second %d)",
+					ss.third, s, ss.key[s], w, ss.second)
+			}
+		}
+	}
+}
+
+// TestMergeTreeStress drives random schedule / cancel / pop sequences
+// through the real kernel paths (scheduleOn, Timer.Stop with its
+// compactions, popMin) at several shard counts, including non-powers
+// of two (padding leaves) and the maximum width. Every popped event is
+// checked against a shadow multiset's true minimum, and the full
+// invariant oracle runs after every mutation.
+func TestMergeTreeStress(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8, 13, 64} {
+		t.Run(fmt.Sprintf("k%d", shards), func(t *testing.T) {
+			k := NewKernel()
+			k.Shard(shards, 4)
+			ss := k.sh
+
+			type entry struct {
+				ref eventRef
+				tm  *Timer
+			}
+			var pending []entry
+			rng := uint64(0x9e3779b97f4a7c15) ^ uint64(shards)<<32
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			steps := 4000
+			if testing.Short() {
+				steps = 1000
+			}
+			popOne := func() {
+				ref, ok := ss.popMin(k)
+				if len(pending) == 0 {
+					if ok {
+						t.Fatalf("popMin returned %+v from an empty set", ref)
+					}
+					return
+				}
+				if !ok {
+					t.Fatalf("popMin empty with %d pending", len(pending))
+				}
+				mi := 0
+				for i := 1; i < len(pending); i++ {
+					if refLess(pending[i].ref, pending[mi].ref) {
+						mi = i
+					}
+				}
+				if ref != pending[mi].ref {
+					t.Fatalf("popMin returned %+v, true min is %+v", ref, pending[mi].ref)
+				}
+				k.freeSlot(ref.idx)
+				pending[mi] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+			}
+
+			for step := 0; step < steps; step++ {
+				switch op := next(100); {
+				case op < 45: // schedule a cancellable event
+					sh := int16(next(shards))
+					at := Time(next(64))
+					idx, gen := k.scheduleOn(sh, at, func() {})
+					ref := eventRef{at: at, seq: k.seq, idx: idx, shard: sh}
+					pending = append(pending, entry{ref: ref, tm: &Timer{k: k, idx: idx, gen: gen}})
+				case op < 65 && len(pending) > 0: // cancel a random pending event
+					i := next(len(pending))
+					if !pending[i].tm.Stop() {
+						t.Fatalf("Stop of pending %+v reported inactive", pending[i].ref)
+					}
+					pending[i] = pending[len(pending)-1]
+					pending = pending[:len(pending)-1]
+				case op < 90: // pop the global minimum
+					popOne()
+				default: // pop a short run (exercises the O(1) fast path)
+					for n := next(6) + 2; n > 0 && len(pending) > 0; n-- {
+						popOne()
+					}
+				}
+				checkMerge(t, ss)
+			}
+			for len(pending) > 0 {
+				popOne()
+			}
+			checkMerge(t, ss)
+			if _, ok := ss.popMin(k); ok {
+				t.Fatal("popMin non-empty after draining every event")
+			}
+		})
+	}
+}

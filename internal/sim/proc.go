@@ -70,7 +70,7 @@ func (p *Proc) main() {
 		}()
 		p.body(p)
 	}()
-	p.k.dispatch(nil, false)
+	p.k.dispatch(nil, false, nil)
 }
 
 // Kernel returns the kernel this proc runs on.
@@ -140,7 +140,7 @@ func (p *Proc) Unblock(t Time) {
 // and the proc parks until a later dispatcher delivers it back.
 func (p *Proc) yield() {
 	p.blockedSince = p.k.now
-	if p.k.dispatch(p, false) == dispatchSelf {
+	if p.k.dispatch(p, false, nil) == dispatchSelf {
 		return
 	}
 	<-p.cont

@@ -9,12 +9,14 @@ import (
 // shardedTraceRun drives the same twisty scenario as traceRun but on a
 // kernel split into shards (0 = serial), spreading the procs across
 // shards. Logs and final clocks must match the serial kernel exactly
-// for every K and both paranoia modes.
-func shardedTraceRun(t *testing.T, shards int, paranoid bool) ([]string, Time) {
+// for every K, both paranoia modes, and both shard executors (workers
+// picks the parallel pool size; ignored under ExecMerged).
+func shardedTraceRun(t *testing.T, shards int, paranoid bool, exec ExecMode, workers int) ([]string, Time) {
 	t.Helper()
 	k := NewKernel()
 	if shards > 0 {
 		k.Shard(shards, 2)
+		k.SetShardExec(exec, workers)
 	}
 	k.SetParanoid(paranoid)
 	on := func(i int) int {
@@ -65,17 +67,26 @@ func shardedTraceRun(t *testing.T, shards int, paranoid bool) ([]string, Time) {
 // counts (including shards the scenario leaves idle) crossed with both
 // paranoia modes.
 func TestShardedTraceEquivalence(t *testing.T) {
-	refLog, refEnd := shardedTraceRun(t, 0, false)
+	refLog, refEnd := shardedTraceRun(t, 0, false, ExecMerged, 0)
 	for _, shards := range []int{1, 2, 3, 7} {
 		for _, paranoid := range []bool{false, true} {
-			log, end := shardedTraceRun(t, shards, paranoid)
-			if end != refEnd {
-				t.Fatalf("shards=%d paranoid=%v: final clock %d, serial %d",
-					shards, paranoid, end, refEnd)
-			}
-			if fmt.Sprint(log) != fmt.Sprint(refLog) {
-				t.Fatalf("shards=%d paranoid=%v: log %v, serial %v",
-					shards, paranoid, log, refLog)
+			for _, exec := range []ExecMode{ExecMerged, ExecParallel} {
+				// Exercise both trivial pools (one worker) and one
+				// worker per shard, plus an uneven split.
+				for _, workers := range []int{1, 2, shards} {
+					log, end := shardedTraceRun(t, shards, paranoid, exec, workers)
+					if end != refEnd {
+						t.Fatalf("shards=%d paranoid=%v exec=%v workers=%d: final clock %d, serial %d",
+							shards, paranoid, exec, workers, end, refEnd)
+					}
+					if fmt.Sprint(log) != fmt.Sprint(refLog) {
+						t.Fatalf("shards=%d paranoid=%v exec=%v workers=%d: log %v, serial %v",
+							shards, paranoid, exec, workers, log, refLog)
+					}
+					if exec == ExecMerged {
+						break // workers is meaningless under merged execution
+					}
+				}
 			}
 		}
 	}
